@@ -1,0 +1,49 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary prints the rows/series of one table or figure from the
+// paper. By default it runs a *scaled* configuration (smaller host counts,
+// tens of simulated milliseconds) so the whole suite completes in minutes;
+// passing --full or setting CONGA_BENCH_FULL=1 selects paper-scale
+// parameters. Each bench prints which mode it ran.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace conga::bench {
+
+inline bool full_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  }
+  const char* env = std::getenv("CONGA_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void print_header(const std::string& title, bool full) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("mode: %s\n", full ? "FULL (paper-scale)" : "SCALED (default; --full for paper-scale)");
+  std::printf("==============================================================\n");
+}
+
+/// Prints one row of right-aligned columns: label then numeric cells.
+inline void print_row(const std::string& label,
+                      const std::vector<double>& cells,
+                      const char* fmt = "%10.3f") {
+  std::printf("%-14s", label.c_str());
+  for (double c : cells) std::printf(fmt, c);
+  std::printf("\n");
+}
+
+inline void print_cols(const std::string& label,
+                       const std::vector<std::string>& names) {
+  std::printf("%-14s", label.c_str());
+  for (const auto& n : names) std::printf("%10s", n.c_str());
+  std::printf("\n");
+}
+
+}  // namespace conga::bench

@@ -1,0 +1,139 @@
+// Shared driver for the FCT figures (9, 10, 11a/b, 15): runs the
+// scheme x load grid and prints the paper's three panels —
+//   (a) overall average FCT normalised to the idle-network optimal,
+//   (b) small flows (<100 KB) normalised to ECMP,
+//   (c) large flows (>10 MB) normalised to ECMP.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lb/factories.hpp"
+#include "tcp/mptcp_connection.hpp"
+#include "workload/experiment.hpp"
+
+namespace conga::bench {
+
+struct GridScheme {
+  std::string name;
+  net::Fabric::LbFactory lb;
+  tcp::FlowFactory transport;
+};
+
+struct GridConfig {
+  net::TopologyConfig topo;
+  workload::FlowSizeDist dist = workload::fixed_size(1e5);
+  std::vector<int> loads_pct;
+  sim::TimeNs warmup = sim::milliseconds(10);
+  sim::TimeNs measure = sim::milliseconds(40);
+  sim::TimeNs max_drain = sim::seconds(1.0);
+  tcp::TcpConfig tcp;
+  int mptcp_subflows = 8;
+  bool include_mptcp = true;
+};
+
+inline std::vector<GridScheme> standard_schemes(const GridConfig& g) {
+  std::vector<GridScheme> out;
+  out.push_back({"ECMP", lb::ecmp(), tcp::make_tcp_flow_factory(g.tcp)});
+  out.push_back({"CONGA-Flow", core::conga_flow(),
+                 tcp::make_tcp_flow_factory(g.tcp)});
+  out.push_back({"CONGA", core::conga(), tcp::make_tcp_flow_factory(g.tcp)});
+  if (g.include_mptcp) {
+    tcp::MptcpConfig m;
+    m.tcp = g.tcp;
+    m.num_subflows = g.mptcp_subflows;
+    out.push_back({"MPTCP", lb::ecmp(), tcp::make_mptcp_flow_factory(m)});
+  }
+  return out;
+}
+
+inline void run_and_print_grid(const GridConfig& g) {
+  const auto schemes = standard_schemes(g);
+
+  struct Cell {
+    workload::ExperimentResult r;
+  };
+  // Average normalized FCT is tail-sensitive (a one-packet flow that loses
+  // its packet costs ~1000x optimal); the median panel below gives the
+  // tail-robust view.
+  std::vector<std::vector<Cell>> grid(schemes.size());
+
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    for (int load : g.loads_pct) {
+      workload::ExperimentConfig cfg;
+      cfg.topo = g.topo;
+      cfg.dist = g.dist;
+      cfg.load = load / 100.0;
+      cfg.transport = schemes[s].transport;
+      cfg.lb = schemes[s].lb;
+      cfg.warmup = g.warmup;
+      cfg.measure = g.measure;
+      cfg.max_drain = g.max_drain;
+      grid[s].push_back({workload::run_fct_experiment(cfg)});
+      std::fprintf(stderr, "  [%s @ %d%%: %zu flows, %.0f%% completed]\n",
+                   schemes[s].name.c_str(), load, grid[s].back().r.flows,
+                   grid[s].back().r.completed_fraction * 100);
+    }
+  }
+
+  auto header = [&] {
+    std::printf("%-12s", "load(%)");
+    for (int load : g.loads_pct) std::printf("%10d", load);
+    std::printf("\n");
+  };
+
+  std::printf("\n(a) overall average FCT, normalised to optimal\n");
+  header();
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    std::printf("%-12s", schemes[s].name.c_str());
+    for (std::size_t i = 0; i < grid[s].size(); ++i) {
+      std::printf("%10.2f", grid[s][i].r.avg_norm_fct);
+    }
+    std::printf("\n");
+  }
+
+  auto relative_panel = [&](const char* title, auto getter) {
+    std::printf("\n%s\n", title);
+    header();
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      std::printf("%-12s", schemes[s].name.c_str());
+      for (std::size_t i = 0; i < grid[s].size(); ++i) {
+        const double ecmp = getter(grid[0][i].r);
+        const double mine = getter(grid[s][i].r);
+        std::printf("%10.2f", ecmp > 0 ? mine / ecmp : 0.0);
+      }
+      std::printf("\n");
+    }
+  };
+  relative_panel("(b) small flows (<100KB) avg FCT, normalised to ECMP",
+                 [](const workload::ExperimentResult& r) {
+                   return r.avg_fct_small;
+                 });
+  relative_panel("(c) large flows (>10MB) avg FCT, normalised to ECMP",
+                 [](const workload::ExperimentResult& r) {
+                   return r.avg_fct_large;
+                 });
+
+  std::printf("\n(a') median normalised FCT (tail-robust view)\n");
+  header();
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    std::printf("%-12s", schemes[s].name.c_str());
+    for (std::size_t i = 0; i < grid[s].size(); ++i) {
+      std::printf("%10.2f", grid[s][i].r.median_norm_fct);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ncompleted fraction of measured flows (censoring check)\n");
+  header();
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    std::printf("%-12s", schemes[s].name.c_str());
+    for (std::size_t i = 0; i < grid[s].size(); ++i) {
+      std::printf("%10.2f", grid[s][i].r.completed_fraction);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace conga::bench

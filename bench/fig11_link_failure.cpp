@@ -1,0 +1,91 @@
+// Figure 11: impact of a link failure (Fig 7b: one of the Leaf1-Spine1 40G
+// links down, 3 of 4 uplinks remain). Loads 10-70% only (bisection is 75% of
+// nominal).
+//
+// Paper shape: ECMP deteriorates drastically past 50% load (half the
+// Leaf0->Leaf1 traffic still hashes through Spine 1, whose single surviving
+// link becomes oversubscribed at 2x); adaptive schemes shift away. CONGA is
+// most robust (up to ~30% better than MPTCP on enterprise, ~2x on
+// data-mining at 70%), and part (c) shows CONGA keeps the hotspot queue
+// [Spine1->Leaf1] ~4x shorter at the 90th percentile.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fct_grid.hpp"
+#include "stats/samplers.hpp"
+#include "workload/traffic_gen.hpp"
+
+using namespace conga;
+
+namespace {
+
+void hotspot_queue_cdf(bool full) {
+  std::printf("\n(c) queue occupancy CDF at the hotspot [Spine1->Leaf1], "
+              "data-mining @ 60%% load\n");
+  net::TopologyConfig topo = net::testbed_link_failure();
+  if (!full) topo.hosts_per_leaf = 16;
+  topo.fabric_queue_bytes = 10 * 1024 * 1024;  // room to expose the contrast
+
+  struct SchemeRow {
+    const char* name;
+    net::Fabric::LbFactory lb;
+  };
+  const std::vector<double> percentiles = {10, 25, 50, 75, 90, 99};
+  std::printf("%-12s", "pct");
+  for (double p : percentiles) std::printf("%11.0f", p);
+  std::printf("  (queue KB)\n");
+
+  for (const SchemeRow& s :
+       {SchemeRow{"ECMP", lb::ecmp()},
+        SchemeRow{"CONGA-Flow", core::conga_flow()},
+        SchemeRow{"CONGA", core::conga()}}) {
+    sim::Scheduler sched;
+    net::Fabric fabric(sched, topo, 31);
+    fabric.install_lb(s.lb);
+    tcp::TcpConfig t;
+    t.min_rto = sim::milliseconds(10);
+    workload::TrafficGenConfig gc;
+    gc.load = 0.6;
+    gc.stop = full ? sim::milliseconds(300) : sim::milliseconds(80);
+    workload::TrafficGenerator gen(fabric, tcp::make_tcp_flow_factory(t),
+                                   workload::data_mining(), gc);
+    gen.start();
+    stats::QueueSampler sampler(sched, fabric.down_link(1, 1, 0),
+                                sim::microseconds(100),
+                                sim::milliseconds(10), gc.stop);
+    sched.run_until(gc.stop);
+    std::printf("%-12s", s.name);
+    for (double p : percentiles) {
+      std::printf("%11.1f", sampler.occupancy_bytes().percentile(p) / 1e3);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::full_mode(argc, argv);
+  bench::print_header("Fig 11 — impact of link failure (asymmetric testbed)",
+                      full);
+
+  for (const bool mining : {false, true}) {
+    std::printf("\n===== %s workload =====\n",
+                mining ? "data-mining" : "enterprise");
+    bench::GridConfig g;
+    g.topo = net::testbed_link_failure();
+    if (!full) g.topo.hosts_per_leaf = 16;
+    g.dist = mining ? workload::data_mining() : workload::enterprise();
+    g.loads_pct = full ? std::vector<int>{10, 20, 30, 40, 50, 60, 70}
+                       : std::vector<int>{10, 30, 50, 60, 70};
+    g.warmup = sim::milliseconds(10);
+    g.measure = full ? sim::milliseconds(200)
+                     : (mining ? sim::milliseconds(80) : sim::milliseconds(50));
+    g.max_drain = full ? sim::seconds(5.0) : sim::seconds(2.0);
+    g.tcp.min_rto = sim::milliseconds(10);
+    run_and_print_grid(g);
+  }
+
+  hotspot_queue_cdf(full);
+  return 0;
+}

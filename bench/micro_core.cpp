@@ -1,0 +1,165 @@
+// Microbenchmarks of CONGA's per-packet primitives (the operations the §4
+// ASIC implements in ~2.4M gates) and the simulator's own hot paths.
+#include <benchmark/benchmark.h>
+
+#include "core/conga_lb.hpp"
+#include "core/congestion_tables.hpp"
+#include "core/dre.hpp"
+#include "core/flowlet_table.hpp"
+#include "lb/factories.hpp"
+#include "net/fabric.hpp"
+#include "sim/scheduler.hpp"
+
+using namespace conga;
+
+namespace {
+
+void BM_DreAddAndQuantize(benchmark::State& state) {
+  core::Dre dre(core::DreConfig{}, 40e9);
+  sim::TimeNs t = 0;
+  for (auto _ : state) {
+    dre.add(1500, t);
+    benchmark::DoNotOptimize(dre.quantized(t));
+    t += 300;
+  }
+}
+BENCHMARK(BM_DreAddAndQuantize);
+
+void BM_FlowletLookupHit(benchmark::State& state) {
+  core::FlowletTable table(core::FlowletTableConfig{});
+  net::FlowKey key{1, 2, 3, 4};
+  table.install(key, 5, 0);
+  sim::TimeNs t = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(key, t));
+    ++t;  // refreshes liveness; stays a hit
+  }
+}
+BENCHMARK(BM_FlowletLookupHit);
+
+void BM_FlowletInstall(benchmark::State& state) {
+  core::FlowletTable table(core::FlowletTableConfig{});
+  std::uint16_t port = 0;
+  for (auto _ : state) {
+    net::FlowKey key{1, 2, ++port, 4};
+    table.install(key, port % 4, 0);
+  }
+}
+BENCHMARK(BM_FlowletInstall);
+
+void BM_CongestionTableUpdate(benchmark::State& state) {
+  core::CongestionTableConfig cfg;
+  cfg.num_leaves = 8;
+  cfg.num_uplinks = 12;
+  core::CongestionFromLeafTable table(cfg);
+  int i = 0;
+  for (auto _ : state) {
+    table.update(i % 8, i % 12, static_cast<std::uint8_t>(i % 8), i);
+    ++i;
+  }
+}
+BENCHMARK(BM_CongestionTableUpdate);
+
+void BM_FeedbackPick(benchmark::State& state) {
+  core::CongestionTableConfig cfg;
+  cfg.num_leaves = 8;
+  cfg.num_uplinks = 12;
+  core::CongestionFromLeafTable table(cfg);
+  for (int l = 0; l < 8; ++l) {
+    for (int u = 0; u < 12; ++u) {
+      table.update(l, u, static_cast<std::uint8_t>(u), 0);
+    }
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.pick_feedback(i % 8, i));
+    ++i;
+  }
+}
+BENCHMARK(BM_FeedbackPick);
+
+struct SelectFixture {
+  sim::Scheduler sched;
+  net::Fabric fabric;
+  SelectFixture() : fabric(sched, net::testbed_baseline(), 1) {}
+};
+
+void BM_EcmpSelect(benchmark::State& state) {
+  SelectFixture fx;
+  fx.fabric.install_lb(lb::ecmp());
+  auto* balancer = fx.fabric.leaf(0).load_balancer();
+  net::Packet pkt;
+  pkt.flow = net::FlowKey{0, 40, 1, 2};
+  std::uint16_t p = 0;
+  for (auto _ : state) {
+    pkt.flow.src_port = ++p;
+    benchmark::DoNotOptimize(balancer->select_uplink(pkt, 1, 0));
+  }
+}
+BENCHMARK(BM_EcmpSelect);
+
+void BM_CongaSelectNewFlowlet(benchmark::State& state) {
+  SelectFixture fx;
+  fx.fabric.install_lb(core::conga());
+  auto* balancer = fx.fabric.leaf(0).load_balancer();
+  net::Packet pkt;
+  pkt.flow = net::FlowKey{0, 40, 1, 2};
+  std::uint16_t p = 0;
+  for (auto _ : state) {
+    pkt.flow.src_port = ++p;  // new 5-tuple (almost) every call
+    benchmark::DoNotOptimize(balancer->select_uplink(pkt, 1, 0));
+  }
+}
+BENCHMARK(BM_CongaSelectNewFlowlet);
+
+void BM_CongaSelectCached(benchmark::State& state) {
+  SelectFixture fx;
+  fx.fabric.install_lb(core::conga());
+  auto* balancer = fx.fabric.leaf(0).load_balancer();
+  net::Packet pkt;
+  pkt.flow = net::FlowKey{0, 40, 1, 2};
+  sim::TimeNs t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balancer->select_uplink(pkt, 1, t));
+    t += 100;  // well within the flowlet gap
+  }
+}
+BENCHMARK(BM_CongaSelectCached);
+
+void BM_SchedulerScheduleDispatch(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::TimeNs t = 0;
+  for (auto _ : state) {
+    sched.schedule_at(++t, [] {});
+    sched.run_until(t);
+  }
+}
+BENCHMARK(BM_SchedulerScheduleDispatch);
+
+void BM_PacketAlloc(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::make_packet());
+  }
+}
+BENCHMARK(BM_PacketAlloc);
+
+void BM_EndToEndPacketForwarding(benchmark::State& state) {
+  // Whole-fabric cost of one inter-leaf packet (encap, CONGA decision,
+  // 4 link hops, feedback harvest, decap, delivery).
+  sim::Scheduler sched;
+  net::Fabric fabric(sched, net::testbed_baseline(), 1);
+  fabric.install_lb(core::conga());
+  std::uint16_t p = 0;
+  for (auto _ : state) {
+    net::PacketPtr pkt = net::make_packet();
+    pkt->flow = net::FlowKey{0, 40, ++p, 7};
+    pkt->size_bytes = 1500;
+    fabric.host(0).send(std::move(pkt));
+    sched.run();
+  }
+}
+BENCHMARK(BM_EndToEndPacketForwarding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Custom load balancer: the public API lets downstream users drop in their
+// own strategy. This example implements "RoundRobinLb" — per-flowlet
+// round-robin over the reachable uplinks — plugs it into a fabric, and races
+// it against ECMP and CONGA on an asymmetric topology.
+//
+// The interface contract (lb/load_balancer.hpp):
+//   * select_uplink() is called for every fabric-bound packet and must
+//     return an uplink index for which leaf.uplink_reaches(i, dst) holds;
+//   * annotate() may stamp overlay fields on the outgoing packet;
+//   * on_fabric_receive() sees every packet arriving from the fabric.
+#include <cstdio>
+#include <memory>
+
+#include "core/flowlet_table.hpp"
+#include "lb/factories.hpp"
+#include "net/fabric.hpp"
+#include "workload/traffic_gen.hpp"
+
+using namespace conga;
+
+namespace {
+
+class RoundRobinLb final : public lb::LoadBalancer {
+ public:
+  explicit RoundRobinLb(net::LeafSwitch& leaf)
+      : leaf_(leaf), flowlets_(core::FlowletTableConfig{}) {}
+
+  int select_uplink(const net::Packet& pkt, net::LeafId dst_leaf,
+                    sim::TimeNs now) override {
+    const net::FlowKey key = pkt.wire_key();
+    const int cached = flowlets_.lookup(key, now);
+    if (cached >= 0 && leaf_.uplink_reaches(cached, dst_leaf)) return cached;
+    // Next reachable uplink in cyclic order.
+    const int n = static_cast<int>(leaf_.uplinks().size());
+    for (int k = 0; k < n; ++k) {
+      const int i = (next_ + k) % n;
+      if (leaf_.uplink_reaches(i, dst_leaf)) {
+        next_ = (i + 1) % n;
+        flowlets_.install(key, i, now);
+        return i;
+      }
+    }
+    return 0;  // unreachable destination: caller topology guarantees not
+  }
+
+  std::string name() const override { return "RoundRobin"; }
+
+ private:
+  net::LeafSwitch& leaf_;
+  core::FlowletTable flowlets_;
+  int next_ = 0;
+};
+
+net::Fabric::LbFactory round_robin() {
+  return [](net::LeafSwitch& leaf, const net::TopologyConfig&,
+            std::uint64_t) -> std::unique_ptr<lb::LoadBalancer> {
+    return std::make_unique<RoundRobinLb>(leaf);
+  };
+}
+
+double run(const char* name, const net::Fabric::LbFactory& lb) {
+  net::TopologyConfig topo = net::testbed_link_failure();
+  topo.hosts_per_leaf = 16;
+  sim::Scheduler sched;
+  net::Fabric fabric(sched, topo, 31);
+  fabric.install_lb(lb);
+  tcp::TcpConfig t;
+  t.min_rto = sim::milliseconds(10);
+  workload::TrafficGenConfig gc;
+  gc.load = 0.6;
+  gc.stop = sim::milliseconds(60);
+  gc.measure_start = sim::milliseconds(10);
+  gc.measure_stop = sim::milliseconds(50);
+  workload::TrafficGenerator gen(fabric, tcp::make_tcp_flow_factory(t),
+                                 workload::enterprise(), gc);
+  gen.start();
+  workload::run_with_drain(sched, gen, gc.stop, sim::seconds(2.0));
+  const double fct = gen.collector().avg_normalized_fct();
+  std::printf("%-12s avg FCT %6.2fx optimal over %zu flows\n", name, fct,
+              gen.collector().count());
+  return fct;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("custom strategy vs built-ins on the link-failure topology "
+              "@60%% load\n\n");
+  run("RoundRobin", round_robin());
+  run("ECMP", lb::ecmp());
+  run("CONGA", core::conga());
+  std::printf("\nRound-robin splits evenly like ECMP, so it inherits the "
+              "same asymmetry\nblindness; congestion feedback is what "
+              "closes the gap.\n");
+  return 0;
+}

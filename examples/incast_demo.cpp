@@ -1,0 +1,65 @@
+// Incast demo (paper §5.3): a client requests a 10 MB file striped across N
+// servers; all servers answer at once. Compare plain TCP over CONGA against
+// MPTCP with 8 subflows, at two minRTO settings.
+//
+// The fabric is not the bottleneck here — the client's single 10G access
+// link is. MPTCP's extra subflows make the synchronized burst worse and its
+// tiny per-subflow windows die by timeout (Fig 13).
+#include <cstdio>
+
+#include "lb/factories.hpp"
+#include "net/fabric.hpp"
+#include "tcp/mptcp_connection.hpp"
+#include "workload/incast_gen.hpp"
+
+using namespace conga;
+
+namespace {
+
+double run(int fanin, const tcp::FlowFactory& transport) {
+  sim::Scheduler sched;
+  net::Fabric fabric(sched, net::testbed_baseline(), 17);
+  fabric.install_lb(core::conga());
+
+  workload::IncastConfig inc;
+  inc.client = 0;
+  for (int s = 1; s <= fanin; ++s) inc.servers.push_back(s);
+  inc.total_bytes = 10'000'000;
+  inc.rounds = 3;
+
+  workload::IncastGenerator gen(fabric, transport, inc);
+  gen.start();
+  sched.run_until(sim::seconds(30.0));
+  return gen.finished() ? gen.goodput_fraction() * 100 : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Incast: 10MB striped over N synchronized servers -> one "
+              "client (%% of 10G)\n\n");
+  std::printf("%-26s%8s%8s%8s\n", "transport", "N=8", "N=24", "N=63");
+  for (const sim::TimeNs min_rto :
+       {sim::milliseconds(200), sim::milliseconds(1)}) {
+    tcp::TcpConfig t;
+    t.min_rto = min_rto;
+    tcp::MptcpConfig m;
+    m.tcp = t;
+
+    std::printf("TCP+CONGA (minRTO %3lldms)  ",
+                static_cast<long long>(min_rto / sim::kNsPerMs));
+    for (int n : {8, 24, 63}) {
+      std::printf("%8.1f", run(n, tcp::make_tcp_flow_factory(t)));
+    }
+    std::printf("\nMPTCPx8   (minRTO %3lldms)  ",
+                static_cast<long long>(min_rto / sim::kNsPerMs));
+    for (int n : {8, 24, 63}) {
+      std::printf("%8.1f", run(n, tcp::make_mptcp_flow_factory(m)));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nLoad balancing cannot help here; *not* multiplying the "
+              "burst (and a small\nminRTO) can. This is the paper's case "
+              "against host-based multipath.\n");
+  return 0;
+}

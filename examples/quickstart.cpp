@@ -1,0 +1,62 @@
+// Quickstart: build a Leaf-Spine fabric, install CONGA, run a few TCP flows,
+// and print their completion times.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "lb/factories.hpp"
+#include "net/fabric.hpp"
+#include "tcp/flow.hpp"
+
+using namespace conga;
+
+int main() {
+  // 1. A scheduler drives everything; one per simulation.
+  sim::Scheduler sched;
+
+  // 2. Describe the fabric: here the paper's baseline testbed (Fig 7a) —
+  //    2 leaves x 32 x 10G hosts, 2 spines, 2 x 40G uplinks per pair.
+  net::Fabric fabric(sched, net::testbed_baseline(), /*seed=*/42);
+
+  // 3. Pick a load balancer. One line swaps the whole scheme:
+  //    lb::ecmp(), lb::spray(), lb::local_aware(), lb::weighted({...}),
+  //    core::conga(), core::conga_flow().
+  fabric.install_lb(core::conga());
+
+  // 4. Launch some TCP flows across the spine.
+  tcp::TcpConfig tcp_cfg;
+  tcp_cfg.min_rto = sim::milliseconds(10);
+  std::vector<std::unique_ptr<tcp::TcpFlow>> flows;
+  const std::uint64_t sizes[] = {20'000, 1'000'000, 50'000'000};
+  for (int i = 0; i < 3; ++i) {
+    net::FlowKey key;
+    key.src_host = i;        // hosts 0..31 are on leaf 0
+    key.dst_host = 32 + i;   // hosts 32..63 on leaf 1
+    key.src_port = static_cast<std::uint16_t>(1000 + 16 * i);
+    key.dst_port = 80;
+    flows.push_back(std::make_unique<tcp::TcpFlow>(
+        sched, fabric.host(key.src_host), fabric.host(key.dst_host), key,
+        sizes[i], tcp_cfg, [](tcp::FlowHandle& f) {
+          std::printf("flow of %9llu B finished in %8.1f us (%.2f Gbps)\n",
+                      static_cast<unsigned long long>(f.size()),
+                      f.fct() / 1e3,
+                      static_cast<double>(f.size()) * 8 /
+                          sim::to_seconds(f.fct()) / 1e9);
+        }));
+    flows.back()->start();
+  }
+
+  // 5. Run the simulation to completion.
+  sched.run();
+
+  std::printf("\nsimulated %.3f ms in %llu events\n",
+              sim::to_seconds(sched.now()) * 1e3,
+              static_cast<unsigned long long>(sched.events_dispatched()));
+  std::printf("leaf0 sent %llu packets into the fabric\n",
+              static_cast<unsigned long long>(
+                  fabric.leaf(0).packets_to_fabric()));
+  return 0;
+}

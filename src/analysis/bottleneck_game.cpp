@@ -1,0 +1,333 @@
+#include "analysis/bottleneck_game.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "analysis/simplex.hpp"
+
+namespace conga::analysis {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Link loads excluding (optionally) one user.
+struct Loads {
+  std::vector<std::vector<double>> up;    // [leaf][spine]
+  std::vector<std::vector<double>> down;  // [spine][leaf]
+};
+
+Loads link_loads(const LeafSpineGame& g, const GameFlow& f, int skip_user) {
+  Loads L;
+  L.up.assign(static_cast<std::size_t>(g.num_leaves),
+              std::vector<double>(static_cast<std::size_t>(g.num_spines), 0));
+  L.down.assign(static_cast<std::size_t>(g.num_spines),
+                std::vector<double>(static_cast<std::size_t>(g.num_leaves), 0));
+  for (std::size_t u = 0; u < g.users.size(); ++u) {
+    if (static_cast<int>(u) == skip_user) continue;
+    const GameUser& user = g.users[u];
+    for (int s = 0; s < g.num_spines; ++s) {
+      const double amt = f.x[u][static_cast<std::size_t>(s)];
+      if (amt <= 0) continue;
+      L.up[static_cast<std::size_t>(user.src)][static_cast<std::size_t>(s)] +=
+          amt;
+      L.down[static_cast<std::size_t>(s)][static_cast<std::size_t>(user.dst)] +=
+          amt;
+    }
+  }
+  return L;
+}
+
+double util(double load, double cap) {
+  if (cap <= 0) return load > 0 ? kInf : 0.0;
+  return load / cap;
+}
+
+}  // namespace
+
+LeafSpineGame LeafSpineGame::uniform(int leaves, int spines, double cap) {
+  LeafSpineGame g;
+  g.num_leaves = leaves;
+  g.num_spines = spines;
+  g.up.assign(static_cast<std::size_t>(leaves),
+              std::vector<double>(static_cast<std::size_t>(spines), cap));
+  g.down.assign(static_cast<std::size_t>(spines),
+                std::vector<double>(static_cast<std::size_t>(leaves), cap));
+  return g;
+}
+
+bool LeafSpineGame::usable(int u, int s) const {
+  const GameUser& user = users[static_cast<std::size_t>(u)];
+  return up[static_cast<std::size_t>(user.src)][static_cast<std::size_t>(s)] >
+             0 &&
+         down[static_cast<std::size_t>(s)][static_cast<std::size_t>(user.dst)] >
+             0;
+}
+
+GameFlow GameFlow::zeros(const LeafSpineGame& g) {
+  GameFlow f;
+  f.x.assign(g.users.size(),
+             std::vector<double>(static_cast<std::size_t>(g.num_spines), 0));
+  return f;
+}
+
+double network_bottleneck(const LeafSpineGame& g, const GameFlow& f) {
+  const Loads L = link_loads(g, f, -1);
+  double b = 0;
+  for (int l = 0; l < g.num_leaves; ++l) {
+    for (int s = 0; s < g.num_spines; ++s) {
+      b = std::max(b, util(L.up[static_cast<std::size_t>(l)]
+                               [static_cast<std::size_t>(s)],
+                           g.up[static_cast<std::size_t>(l)]
+                               [static_cast<std::size_t>(s)]));
+      b = std::max(b, util(L.down[static_cast<std::size_t>(s)]
+                                 [static_cast<std::size_t>(l)],
+                           g.down[static_cast<std::size_t>(s)]
+                                 [static_cast<std::size_t>(l)]));
+    }
+  }
+  return b;
+}
+
+double user_bottleneck(const LeafSpineGame& g, const GameFlow& f, int u) {
+  const Loads L = link_loads(g, f, -1);
+  const GameUser& user = g.users[static_cast<std::size_t>(u)];
+  double b = 0;
+  for (int s = 0; s < g.num_spines; ++s) {
+    if (f.x[static_cast<std::size_t>(u)][static_cast<std::size_t>(s)] <= 0) {
+      continue;
+    }
+    b = std::max(b, util(L.up[static_cast<std::size_t>(user.src)]
+                             [static_cast<std::size_t>(s)],
+                         g.up[static_cast<std::size_t>(user.src)]
+                             [static_cast<std::size_t>(s)]));
+    b = std::max(b, util(L.down[static_cast<std::size_t>(s)]
+                               [static_cast<std::size_t>(user.dst)],
+                         g.down[static_cast<std::size_t>(s)]
+                               [static_cast<std::size_t>(user.dst)]));
+  }
+  return b;
+}
+
+double optimal_bottleneck(const LeafSpineGame& g, GameFlow* opt_flow) {
+  // LP variables: x[u][s] for usable (u,s) pairs, plus B (last variable).
+  // Maximize -B subject to:
+  //   sum_s x[u][s] = demand_u      (two inequalities)
+  //   sum over users at a link - B*cap <= 0
+  const int U = static_cast<int>(g.users.size());
+  const int S = g.num_spines;
+  std::vector<std::vector<int>> var(static_cast<std::size_t>(U),
+                                    std::vector<int>(static_cast<std::size_t>(S),
+                                                     -1));
+  int nvars = 0;
+  for (int u = 0; u < U; ++u) {
+    for (int s = 0; s < S; ++s) {
+      if (g.usable(u, s)) {
+        var[static_cast<std::size_t>(u)][static_cast<std::size_t>(s)] =
+            nvars++;
+      }
+    }
+  }
+  const int bvar = nvars++;  // the bottleneck variable B
+
+  std::vector<std::vector<double>> A;
+  std::vector<double> b;
+  auto add_row = [&](std::vector<double> row, double rhs) {
+    A.push_back(std::move(row));
+    b.push_back(rhs);
+  };
+
+  for (int u = 0; u < U; ++u) {
+    std::vector<double> row(static_cast<std::size_t>(nvars), 0.0);
+    bool any = false;
+    for (int s = 0; s < S; ++s) {
+      const int v = var[static_cast<std::size_t>(u)][static_cast<std::size_t>(s)];
+      if (v >= 0) {
+        row[static_cast<std::size_t>(v)] = 1.0;
+        any = true;
+      }
+    }
+    if (!any) return kInf;  // user has no usable path
+    const double d = g.users[static_cast<std::size_t>(u)].demand;
+    add_row(row, d);
+    for (double& v : row) v = -v;
+    add_row(std::move(row), -d);
+  }
+
+  auto add_capacity_row = [&](bool is_up, int leaf, int spine, double cap) {
+    if (cap <= 0) return;
+    std::vector<double> row(static_cast<std::size_t>(nvars), 0.0);
+    bool any = false;
+    for (int u = 0; u < U; ++u) {
+      const GameUser& user = g.users[static_cast<std::size_t>(u)];
+      const bool touches = is_up ? user.src == leaf : user.dst == leaf;
+      const int v =
+          var[static_cast<std::size_t>(u)][static_cast<std::size_t>(spine)];
+      if (touches && v >= 0) {
+        row[static_cast<std::size_t>(v)] = 1.0;
+        any = true;
+      }
+    }
+    if (!any) return;
+    row[static_cast<std::size_t>(bvar)] = -cap;
+    add_row(std::move(row), 0.0);
+  };
+  for (int l = 0; l < g.num_leaves; ++l) {
+    for (int s = 0; s < S; ++s) {
+      add_capacity_row(true, l, s,
+                       g.up[static_cast<std::size_t>(l)]
+                           [static_cast<std::size_t>(s)]);
+      add_capacity_row(false, l, s,
+                       g.down[static_cast<std::size_t>(s)]
+                             [static_cast<std::size_t>(l)]);
+    }
+  }
+
+  std::vector<double> c(static_cast<std::size_t>(nvars), 0.0);
+  c[static_cast<std::size_t>(bvar)] = -1.0;  // maximize -B
+
+  std::vector<double> x;
+  Simplex lp(A, b, c);
+  const double value = lp.solve(x);
+  if (value == -kInf) return kInf;  // infeasible demands
+
+  if (opt_flow != nullptr) {
+    *opt_flow = GameFlow::zeros(g);
+    for (int u = 0; u < U; ++u) {
+      for (int s = 0; s < S; ++s) {
+        const int v =
+            var[static_cast<std::size_t>(u)][static_cast<std::size_t>(s)];
+        if (v >= 0) {
+          opt_flow->x[static_cast<std::size_t>(u)][static_cast<std::size_t>(s)] =
+              x[static_cast<std::size_t>(v)];
+        }
+      }
+    }
+  }
+  return x[static_cast<std::size_t>(bvar)];
+}
+
+double best_response(const LeafSpineGame& g, GameFlow& f, int u) {
+  const GameUser& user = g.users[static_cast<std::size_t>(u)];
+  const Loads others = link_loads(g, f, u);
+
+  // How much user traffic fits through spine s with all its links kept at
+  // utilization <= t.
+  auto headroom = [&](int s, double t) -> double {
+    if (!g.usable(u, s)) return 0.0;
+    const double cu = g.up[static_cast<std::size_t>(user.src)]
+                          [static_cast<std::size_t>(s)];
+    const double cd = g.down[static_cast<std::size_t>(s)]
+                            [static_cast<std::size_t>(user.dst)];
+    const double hu =
+        cu * t -
+        others.up[static_cast<std::size_t>(user.src)][static_cast<std::size_t>(s)];
+    const double hd =
+        cd * t -
+        others.down[static_cast<std::size_t>(s)][static_cast<std::size_t>(user.dst)];
+    return std::max(0.0, std::min(hu, hd));
+  };
+  auto feasible = [&](double t) {
+    double total = 0;
+    for (int s = 0; s < g.num_spines; ++s) total += headroom(s, t);
+    return total >= user.demand - 1e-12;
+  };
+
+  double lo = 0, hi = 1.0;
+  while (!feasible(hi)) {
+    hi *= 2;
+    if (hi > 1e12) break;  // demands cannot be routed; spread evenly below
+  }
+  for (int it = 0; it < 100; ++it) {
+    const double mid = (lo + hi) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  const double t = hi;
+
+  // Realize the response: fill spines up to the bottleneck level t.
+  double remaining = user.demand;
+  for (int s = 0; s < g.num_spines; ++s) {
+    const double amt = std::min(remaining, headroom(s, t));
+    f.x[static_cast<std::size_t>(u)][static_cast<std::size_t>(s)] = amt;
+    remaining -= amt;
+  }
+  // Numerical slack: dump any leftover on the first usable spine.
+  if (remaining > 1e-12) {
+    for (int s = 0; s < g.num_spines; ++s) {
+      if (g.usable(u, s)) {
+        f.x[static_cast<std::size_t>(u)][static_cast<std::size_t>(s)] +=
+            remaining;
+        break;
+      }
+    }
+  }
+  return user_bottleneck(g, f, u);
+}
+
+int best_response_dynamics(const LeafSpineGame& g, GameFlow& f, double eps,
+                           int max_rounds) {
+  for (int round = 1; round <= max_rounds; ++round) {
+    bool improved = false;
+    for (int u = 0; u < static_cast<int>(g.users.size()); ++u) {
+      const double before = user_bottleneck(g, f, u);
+      const std::vector<double> saved = f.x[static_cast<std::size_t>(u)];
+      const double after = best_response(g, f, u);
+      if (after < before - eps) {
+        improved = true;
+      } else {
+        f.x[static_cast<std::size_t>(u)] = saved;  // keep incumbent on ties
+      }
+    }
+    if (!improved) return round;
+  }
+  return max_rounds;
+}
+
+bool is_nash(const LeafSpineGame& g, const GameFlow& f, double eps) {
+  GameFlow probe = f;
+  for (int u = 0; u < static_cast<int>(g.users.size()); ++u) {
+    const double before = user_bottleneck(g, f, u);
+    probe.x[static_cast<std::size_t>(u)] = f.x[static_cast<std::size_t>(u)];
+    const double after = best_response(g, probe, u);
+    probe.x[static_cast<std::size_t>(u)] = f.x[static_cast<std::size_t>(u)];
+    if (after < before - eps) return false;
+  }
+  return true;
+}
+
+double anarchy_ratio(const LeafSpineGame& g, const GameFlow& nash_flow) {
+  const double opt = optimal_bottleneck(g);
+  if (opt <= 0 || opt == kInf) return 1.0;
+  return network_bottleneck(g, nash_flow) / opt;
+}
+
+GameFlow random_flow(const LeafSpineGame& g, sim::Rng& rng) {
+  GameFlow f = GameFlow::zeros(g);
+  for (std::size_t u = 0; u < g.users.size(); ++u) {
+    std::vector<double> w(static_cast<std::size_t>(g.num_spines), 0);
+    double total = 0;
+    for (int s = 0; s < g.num_spines; ++s) {
+      if (g.usable(static_cast<int>(u), s)) {
+        // Squared uniforms favour lopsided starts, probing more of the
+        // equilibrium landscape than near-even splits would.
+        const double r = rng.uniform();
+        w[static_cast<std::size_t>(s)] = r * r;
+        total += w[static_cast<std::size_t>(s)];
+      }
+    }
+    if (total <= 0) continue;
+    for (int s = 0; s < g.num_spines; ++s) {
+      f.x[u][static_cast<std::size_t>(s)] =
+          g.users[u].demand * w[static_cast<std::size_t>(s)] / total;
+    }
+  }
+  return f;
+}
+
+}  // namespace conga::analysis

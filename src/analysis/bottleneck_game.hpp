@@ -1,0 +1,79 @@
+// Bottleneck routing game on Leaf-Spine fabrics (paper §6.1, after Banner &
+// Orda): users are (source leaf, destination leaf, demand) triples that split
+// their traffic over the spines to selfishly minimise their own bottleneck
+// — the model of CONGA's uncoordinated leaf decisions.
+//
+// Provided machinery:
+//  * optimal_bottleneck()     — the centralized optimum min-max utilization,
+//    solved exactly as an LP (the benchmark Theorem 1 compares against);
+//  * best_response()          — a user's exact selfish optimum given the
+//    others (water-filling via bisection on the bottleneck level);
+//  * best_response_dynamics() — CONGA-style repeated re-balancing;
+//  * is_nash() / price_of_anarchy() — equilibrium verification and the
+//    Nash-vs-optimal ratio (Theorem 1: at most 2 on Leaf-Spine).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace conga::analysis {
+
+struct GameUser {
+  int src;
+  int dst;
+  double demand;
+};
+
+struct LeafSpineGame {
+  int num_leaves = 0;
+  int num_spines = 0;
+  std::vector<std::vector<double>> up;    ///< [leaf][spine] capacity; 0 = none
+  std::vector<std::vector<double>> down;  ///< [spine][leaf] capacity; 0 = none
+  std::vector<GameUser> users;
+
+  static LeafSpineGame uniform(int leaves, int spines, double cap);
+  /// True if user u can route via spine s at all.
+  bool usable(int u, int s) const;
+};
+
+/// x[user][spine] = traffic of that user through that spine.
+struct GameFlow {
+  std::vector<std::vector<double>> x;
+
+  static GameFlow zeros(const LeafSpineGame& g);
+};
+
+/// Utilization of every link under `f`: (up utilizations, down utilizations).
+double network_bottleneck(const LeafSpineGame& g, const GameFlow& f);
+
+/// Max utilization among links that user u actually uses (b_u in the paper).
+double user_bottleneck(const LeafSpineGame& g, const GameFlow& f, int u);
+
+/// Centralized optimum B* = min over feasible flows of the network
+/// bottleneck. Returns B*; fills `*opt_flow` if non-null. Returns +inf if
+/// the demands cannot be routed at all.
+double optimal_bottleneck(const LeafSpineGame& g, GameFlow* opt_flow = nullptr);
+
+/// Replaces user u's strategy with its exact best response to the others.
+/// Returns the user's new bottleneck.
+double best_response(const LeafSpineGame& g, GameFlow& f, int u);
+
+/// Round-robin best-response until no user improves by more than eps.
+/// Returns the number of full rounds executed (== max_rounds if it did not
+/// settle).
+int best_response_dynamics(const LeafSpineGame& g, GameFlow& f,
+                           double eps = 1e-9, int max_rounds = 200);
+
+/// True if no user can improve its bottleneck by more than eps.
+bool is_nash(const LeafSpineGame& g, const GameFlow& f, double eps = 1e-6);
+
+/// Nash-vs-optimal bottleneck ratio for a given equilibrium flow.
+double anarchy_ratio(const LeafSpineGame& g, const GameFlow& nash_flow);
+
+/// Random feasible-ish starting flow (each user splits over its usable
+/// spines with random weights) for exploring the equilibrium landscape.
+GameFlow random_flow(const LeafSpineGame& g, sim::Rng& rng);
+
+}  // namespace conga::analysis

@@ -1,0 +1,44 @@
+#include "analysis/imbalance_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace conga::analysis {
+
+double expected_imbalance(const workload::FlowSizeDist& dist,
+                          const ImbalanceParams& p) {
+  sim::Rng rng(p.seed);
+  std::poisson_distribution<long> poisson(p.lambda * p.t_seconds);
+  const double denom =
+      p.lambda * dist.mean_bytes() * p.t_seconds / p.n_links;
+
+  double sum_chi = 0;
+  std::vector<double> bins(static_cast<std::size_t>(p.n_links));
+  for (int trial = 0; trial < p.trials; ++trial) {
+    std::fill(bins.begin(), bins.end(), 0.0);
+    const long flows = poisson(rng.engine());
+    for (long i = 0; i < flows; ++i) {
+      bins[rng.index(bins.size())] += static_cast<double>(dist.sample(rng));
+    }
+    const auto [mn, mx] = std::minmax_element(bins.begin(), bins.end());
+    sum_chi += (*mx - *mn) / denom;
+  }
+  return sum_chi / p.trials;
+}
+
+double effective_rate(const workload::FlowSizeDist& dist, int n_links,
+                      double lambda) {
+  const double cv = dist.coeff_of_variation();
+  return lambda / (8.0 * n_links * std::log(n_links) * (1.0 + cv * cv));
+}
+
+double theorem2_bound(const workload::FlowSizeDist& dist, int n_links,
+                      double lambda, double t_seconds) {
+  return 1.0 / std::sqrt(effective_rate(dist, n_links, lambda) * t_seconds);
+}
+
+}  // namespace conga::analysis

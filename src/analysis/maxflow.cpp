@@ -1,0 +1,91 @@
+#include "analysis/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace conga::analysis {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+MaxFlow::MaxFlow(int num_nodes)
+    : graph_(static_cast<std::size_t>(num_nodes)),
+      level_(static_cast<std::size_t>(num_nodes)),
+      iter_(static_cast<std::size_t>(num_nodes)) {}
+
+void MaxFlow::add_edge(int u, int v, double capacity) {
+  const auto su = static_cast<std::size_t>(u);
+  const auto sv = static_cast<std::size_t>(v);
+  edge_index_.emplace_back(u, static_cast<int>(graph_[su].size()));
+  graph_[su].push_back(
+      Edge{v, capacity, capacity, static_cast<int>(graph_[sv].size())});
+  graph_[sv].push_back(
+      Edge{u, 0.0, 0.0, static_cast<int>(graph_[su].size()) - 1});
+}
+
+void MaxFlow::reset() {
+  for (auto& adj : graph_) {
+    for (Edge& e : adj) e.cap = e.initial_cap;
+  }
+}
+
+bool MaxFlow::bfs(int s, int t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<int> q;
+  level_[static_cast<std::size_t>(s)] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (const Edge& e : graph_[static_cast<std::size_t>(v)]) {
+      if (e.cap > kEps && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+double MaxFlow::dfs(int v, int t, double pushed) {
+  if (v == t) return pushed;
+  for (int& i = iter_[static_cast<std::size_t>(v)];
+       i < static_cast<int>(graph_[static_cast<std::size_t>(v)].size()); ++i) {
+    Edge& e = graph_[static_cast<std::size_t>(v)][static_cast<std::size_t>(i)];
+    if (e.cap > kEps && level_[static_cast<std::size_t>(v)] <
+                            level_[static_cast<std::size_t>(e.to)]) {
+      const double d = dfs(e.to, t, std::min(pushed, e.cap));
+      if (d > kEps) {
+        e.cap -= d;
+        graph_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)]
+            .cap += d;
+        return d;
+      }
+    }
+  }
+  return 0;
+}
+
+double MaxFlow::solve(int s, int t) {
+  double flow = 0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    double f = 0;
+    while ((f = dfs(s, t, std::numeric_limits<double>::infinity())) > kEps) {
+      flow += f;
+    }
+  }
+  return flow;
+}
+
+double MaxFlow::edge_flow(int index) const {
+  const auto [node, offset] = edge_index_[static_cast<std::size_t>(index)];
+  const Edge& e =
+      graph_[static_cast<std::size_t>(node)][static_cast<std::size_t>(offset)];
+  return e.initial_cap - e.cap;
+}
+
+}  // namespace conga::analysis

@@ -1,0 +1,47 @@
+// Dinic max-flow on small dense-ish graphs with real-valued capacities.
+//
+// Used by the analysis suite for single-commodity feasibility checks (e.g.
+// the maximum L0->L1 throughput of Fig 2's asymmetric topology) and as a
+// sanity cross-check on the LP solver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace conga::analysis {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_nodes);
+
+  /// Adds a directed edge u -> v with the given capacity.
+  void add_edge(int u, int v, double capacity);
+
+  /// Computes the max flow value from s to t (destroys residual state;
+  /// one-shot per instance unless reset()).
+  double solve(int s, int t);
+
+  /// Restores all edge capacities to their initial values.
+  void reset();
+
+  /// Flow currently assigned to the i-th added edge (after solve()).
+  double edge_flow(int index) const;
+
+ private:
+  struct Edge {
+    int to;
+    double cap;
+    double initial_cap;
+    int rev;  ///< index of the reverse edge in graph_[to]
+  };
+
+  bool bfs(int s, int t);
+  double dfs(int v, int t, double pushed);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<int, int>> edge_index_;  ///< (node, offset) per add
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace conga::analysis

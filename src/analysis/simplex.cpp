@@ -1,0 +1,144 @@
+#include "analysis/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace conga::analysis {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+Simplex::Simplex(const std::vector<std::vector<double>>& A,
+                 const std::vector<double>& b, const std::vector<double>& c)
+    : m_(static_cast<int>(b.size())),
+      n_(static_cast<int>(c.size())),
+      basic_(static_cast<std::size_t>(m_)),
+      nonbasic_(static_cast<std::size_t>(n_) + 1),
+      d_(static_cast<std::size_t>(m_) + 2,
+         std::vector<double>(static_cast<std::size_t>(n_) + 2)) {
+  for (int i = 0; i < m_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      d_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          A[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    basic_[static_cast<std::size_t>(i)] = n_ + i;
+    d_[static_cast<std::size_t>(i)][static_cast<std::size_t>(n_)] = -1;
+    d_[static_cast<std::size_t>(i)][static_cast<std::size_t>(n_) + 1] =
+        b[static_cast<std::size_t>(i)];
+  }
+  for (int j = 0; j < n_; ++j) {
+    nonbasic_[static_cast<std::size_t>(j)] = j;
+    d_[static_cast<std::size_t>(m_)][static_cast<std::size_t>(j)] =
+        -c[static_cast<std::size_t>(j)];
+  }
+  nonbasic_[static_cast<std::size_t>(n_)] = -1;
+  d_[static_cast<std::size_t>(m_) + 1][static_cast<std::size_t>(n_)] = 1;
+}
+
+void Simplex::pivot(int r, int s) {
+  const auto ur = static_cast<std::size_t>(r);
+  const auto us = static_cast<std::size_t>(s);
+  const double inv = 1.0 / d_[ur][us];
+  for (int i = 0; i < m_ + 2; ++i) {
+    if (i == r) continue;
+    const auto ui = static_cast<std::size_t>(i);
+    if (std::abs(d_[ui][us]) < kEps) continue;
+    for (int j = 0; j < n_ + 2; ++j) {
+      if (j == s) continue;
+      const auto uj = static_cast<std::size_t>(j);
+      d_[ui][uj] -= d_[ur][uj] * d_[ui][us] * inv;
+    }
+  }
+  for (int j = 0; j < n_ + 2; ++j) {
+    if (j != s) d_[ur][static_cast<std::size_t>(j)] *= inv;
+  }
+  for (int i = 0; i < m_ + 2; ++i) {
+    if (i != r) d_[static_cast<std::size_t>(i)][us] *= -inv;
+  }
+  d_[ur][us] = inv;
+  std::swap(basic_[ur], nonbasic_[us]);
+}
+
+bool Simplex::iterate(int phase) {
+  const int x = phase == 1 ? m_ + 1 : m_;
+  const auto ux = static_cast<std::size_t>(x);
+  while (true) {
+    int s = -1;
+    for (int j = 0; j <= n_; ++j) {
+      const auto uj = static_cast<std::size_t>(j);
+      if (phase == 2 && nonbasic_[uj] == -1) continue;
+      if (s == -1 || d_[ux][uj] < d_[ux][static_cast<std::size_t>(s)] ||
+          (d_[ux][uj] == d_[ux][static_cast<std::size_t>(s)] &&
+           nonbasic_[uj] < nonbasic_[static_cast<std::size_t>(s)])) {
+        s = j;
+      }
+    }
+    if (d_[ux][static_cast<std::size_t>(s)] > -kEps) return true;
+    int r = -1;
+    for (int i = 0; i < m_; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      const auto us = static_cast<std::size_t>(s);
+      if (d_[ui][us] < kEps) continue;
+      const auto un1 = static_cast<std::size_t>(n_) + 1;
+      if (r == -1 ||
+          d_[ui][un1] / d_[ui][us] <
+              d_[static_cast<std::size_t>(r)][un1] /
+                  d_[static_cast<std::size_t>(r)][us] ||
+          (d_[ui][un1] / d_[ui][us] ==
+               d_[static_cast<std::size_t>(r)][un1] /
+                   d_[static_cast<std::size_t>(r)][us] &&
+           basic_[ui] < basic_[static_cast<std::size_t>(r)])) {
+        r = i;
+      }
+    }
+    if (r == -1) return false;  // unbounded
+    pivot(r, s);
+  }
+}
+
+double Simplex::solve(std::vector<double>& x) {
+  const auto un1 = static_cast<std::size_t>(n_) + 1;
+  int r = 0;
+  for (int i = 1; i < m_; ++i) {
+    if (d_[static_cast<std::size_t>(i)][un1] <
+        d_[static_cast<std::size_t>(r)][un1]) {
+      r = i;
+    }
+  }
+  if (m_ > 0 && d_[static_cast<std::size_t>(r)][un1] < -kEps) {
+    pivot(r, n_);
+    if (!iterate(1) ||
+        d_[static_cast<std::size_t>(m_) + 1][un1] < -kEps) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    for (int i = 0; i < m_; ++i) {
+      if (basic_[static_cast<std::size_t>(i)] != -1) continue;
+      int s = -1;
+      for (int j = 0; j <= n_; ++j) {
+        const auto ui = static_cast<std::size_t>(i);
+        const auto uj = static_cast<std::size_t>(j);
+        if (s == -1 || d_[ui][uj] < d_[ui][static_cast<std::size_t>(s)] ||
+            (d_[ui][uj] == d_[ui][static_cast<std::size_t>(s)] &&
+             nonbasic_[uj] < nonbasic_[static_cast<std::size_t>(s)])) {
+          s = j;
+        }
+      }
+      pivot(i, s);
+    }
+  }
+  if (!iterate(2)) return std::numeric_limits<double>::infinity();
+  x.assign(static_cast<std::size_t>(n_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    if (basic_[static_cast<std::size_t>(i)] < n_) {
+      x[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] =
+          d_[static_cast<std::size_t>(i)][un1];
+    }
+  }
+  return d_[static_cast<std::size_t>(m_)][un1];
+}
+
+}  // namespace conga::analysis

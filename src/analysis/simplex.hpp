@@ -1,0 +1,34 @@
+// Dense two-phase simplex LP solver.
+//
+// Solves   maximize c.x   subject to   A x <= b,  x >= 0.
+// Returns the optimum (+inf if unbounded, -inf if infeasible) and the
+// optimal x. Equality constraints are expressed as two inequalities by the
+// callers. Sized for the analysis module's small instances (tens of
+// variables) — the bottleneck routing game LP of §6.1, not a general solver.
+//
+// Classic tableau implementation (Bland-style lexicographic tie-breaking for
+// anti-cycling), after the well-known contest formulation.
+#pragma once
+
+#include <vector>
+
+namespace conga::analysis {
+
+class Simplex {
+ public:
+  Simplex(const std::vector<std::vector<double>>& A,
+          const std::vector<double>& b, const std::vector<double>& c);
+
+  /// Runs the solver; fills `x` on success.
+  double solve(std::vector<double>& x);
+
+ private:
+  void pivot(int r, int s);
+  bool iterate(int phase);
+
+  int m_, n_;
+  std::vector<int> basic_, nonbasic_;
+  std::vector<std::vector<double>> d_;
+};
+
+}  // namespace conga::analysis

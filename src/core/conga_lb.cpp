@@ -1,0 +1,108 @@
+#include "core/conga_lb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace conga::core {
+
+namespace {
+CongestionTableConfig table_config(int num_leaves, int num_uplinks,
+                                   const CongaConfig& cfg) {
+  CongestionTableConfig t;
+  t.num_leaves = num_leaves;
+  t.num_uplinks = num_uplinks;
+  t.age_after = cfg.metric_age_after;
+  t.favor_changed = cfg.feedback_favor_changed;
+  return t;
+}
+}  // namespace
+
+CongaLb::CongaLb(net::LeafSwitch& leaf, int num_leaves, const CongaConfig& cfg,
+                 std::string display_name)
+    : leaf_(leaf),
+      display_name_(std::move(display_name)),
+      flowlets_(cfg.flowlet),
+      to_leaf_(table_config(num_leaves, static_cast<int>(leaf.uplinks().size()),
+                            cfg)),
+      // The From-Leaf table is indexed by the *remote* leaf's LBTag, whose
+      // range is bounded by the 4-bit field, not by our own uplink count
+      // (remote leaves may have more uplinks than we do).
+      from_leaf_(table_config(num_leaves, kMaxLbTagValues, cfg)) {
+  assert(!leaf.uplinks().empty() &&
+         "install CONGA after wiring the leaf's uplinks");
+}
+
+std::uint8_t CongaLb::cost(net::LeafId dst_leaf, int uplink,
+                           sim::TimeNs now) const {
+  const std::uint8_t local =
+      leaf_.uplinks()[static_cast<std::size_t>(uplink)].link->dre().quantized(
+          now);
+  const std::uint8_t remote = to_leaf_.metric(dst_leaf, uplink, now);
+  return std::max(local, remote);
+}
+
+int CongaLb::decide(const net::FlowKey& key, net::LeafId dst_leaf,
+                    sim::TimeNs now) {
+  const int n = static_cast<int>(leaf_.uplinks().size());
+  std::uint8_t best = 255;
+  // Collect the argmin set to break ties as §3.5 prescribes, considering
+  // only uplinks that are valid next hops for this destination.
+  std::vector<int> ties;
+  ties.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (!leaf_.uplink_reaches(i, dst_leaf)) continue;
+    const std::uint8_t c = cost(dst_leaf, i, now);
+    if (c < best) {
+      best = c;
+      ties.clear();
+      ties.push_back(i);
+    } else if (c == best) {
+      ties.push_back(i);
+    }
+  }
+  const int prev = flowlets_.last_port(key);
+  if (prev >= 0 &&
+      std::find(ties.begin(), ties.end(), prev) != ties.end()) {
+    return prev;  // a flow only moves if a strictly better uplink exists
+  }
+  return ties[leaf_.rng().index(ties.size())];
+}
+
+int CongaLb::select_uplink(const net::Packet& pkt, net::LeafId dst_leaf,
+                           sim::TimeNs now) {
+  const net::FlowKey key = pkt.wire_key();
+  const int cached = flowlets_.lookup(key, now);
+  if (cached >= 0 && cached < static_cast<int>(leaf_.uplinks().size()) &&
+      leaf_.uplink_reaches(cached, dst_leaf)) {
+    return cached;
+  }
+  const int chosen = decide(key, dst_leaf, now);
+  flowlets_.install(key, chosen, now);
+  return chosen;
+}
+
+void CongaLb::annotate(net::Packet& pkt, int /*uplink*/, sim::TimeNs now) {
+  // LBTag was stamped by the leaf; add one piggybacked feedback pair for the
+  // destination (the metrics we have been collecting *from* it).
+  if (auto fb = from_leaf_.pick_feedback(pkt.overlay.dst_leaf, now)) {
+    pkt.overlay.fb_valid = true;
+    pkt.overlay.fb_lbtag = fb->lbtag;
+    pkt.overlay.fb_metric = fb->metric;
+  }
+}
+
+void CongaLb::on_fabric_receive(const net::Packet& pkt, sim::TimeNs now) {
+  const net::OverlayHeader& oh = pkt.overlay;
+  // Forward direction: the packet's CE is the max congestion it saw on the
+  // path identified by (src_leaf, lbtag).
+  from_leaf_.update(oh.src_leaf, oh.lbtag, oh.ce, now);
+  // Piggybacked feedback: congestion of *our* uplink fb_lbtag on paths toward
+  // the leaf this packet came from.
+  if (oh.fb_valid &&
+      oh.fb_lbtag < leaf_.uplinks().size()) {
+    to_leaf_.update(oh.src_leaf, oh.fb_lbtag, oh.fb_metric, now);
+  }
+}
+
+}  // namespace conga::core

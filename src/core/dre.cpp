@@ -1,0 +1,54 @@
+#include "core/dre.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conga::core {
+
+Dre::Dre(DreConfig cfg, double link_rate_bps)
+    : cfg_(cfg),
+      capacity_bytes_per_tau_(link_rate_bps / 8.0 * sim::to_seconds(cfg.tau())),
+      max_metric_(static_cast<std::uint8_t>((1u << cfg.q_bits) - 1)) {}
+
+void Dre::decay_to(sim::TimeNs now) const {
+  const std::int64_t period = now / cfg_.t_dre;
+  if (period <= last_period_) return;
+  const std::int64_t k = period - last_period_;
+  // (1-alpha)^k decays below any measurable value quickly; short-circuit the
+  // pow for long idle stretches.
+  if (k > 200) {
+    x_ = 0.0;
+  } else {
+    x_ *= std::pow(1.0 - cfg_.alpha, static_cast<double>(k));
+  }
+  last_period_ = period;
+}
+
+void Dre::add(std::uint32_t bytes, sim::TimeNs now) {
+  decay_to(now);
+  x_ += static_cast<double>(bytes);
+}
+
+double Dre::raw_register(sim::TimeNs now) const {
+  decay_to(now);
+  return x_;
+}
+
+double Dre::rate_bps(sim::TimeNs now) const {
+  decay_to(now);
+  return x_ * 8.0 / sim::to_seconds(cfg_.tau());
+}
+
+double Dre::utilization(sim::TimeNs now) const {
+  decay_to(now);
+  return x_ / capacity_bytes_per_tau_;
+}
+
+std::uint8_t Dre::quantized(sim::TimeNs now) const {
+  const double u = utilization(now);
+  const double scaled = std::round(u * static_cast<double>(max_metric_));
+  return static_cast<std::uint8_t>(
+      std::clamp(scaled, 0.0, static_cast<double>(max_metric_)));
+}
+
+}  // namespace conga::core

@@ -1,0 +1,72 @@
+// Discounting Rate Estimator (paper §3.2).
+//
+// One register X per link: incremented by the packet size on every
+// transmission, multiplied by (1 - alpha) every Tdre. Then X ~= R * tau with
+// tau = Tdre / alpha, i.e. X tracks the link rate through a first-order
+// low-pass filter that reacts immediately to bursts. The link's congestion
+// metric is X / (C * tau) quantized to Q bits.
+//
+// Implementation note: instead of a per-link timer firing every Tdre (which
+// would dominate the event queue), the decay is applied lazily — on access we
+// multiply by (1-alpha)^k for the k whole periods that elapsed. This is
+// bit-identical to the periodic version at period boundaries and free
+// otherwise.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace conga::core {
+
+struct DreConfig {
+  // Defaults give the paper's tau = 160us. Alpha trades estimator ripple
+  // against decay cost: at steady rate R the register oscillates within
+  // [(1-alpha) R tau, R tau] across each decay period, so a small alpha
+  // keeps X ~= R tau tight.
+  sim::TimeNs t_dre = sim::microseconds(20);  ///< decay period
+  double alpha = 0.125;                       ///< multiplicative decay factor
+  int q_bits = 3;                             ///< quantization bits (Q)
+
+  /// Time constant tau = Tdre / alpha; the (1 - 1/e) rise time of the filter.
+  sim::TimeNs tau() const {
+    return static_cast<sim::TimeNs>(static_cast<double>(t_dre) / alpha);
+  }
+};
+
+class Dre {
+ public:
+  /// `link_rate_bps` is C, the capacity used to normalize the estimate.
+  Dre(DreConfig cfg, double link_rate_bps);
+
+  /// Records `bytes` sent at time `now`.
+  void add(std::uint32_t bytes, sim::TimeNs now);
+
+  /// Estimated link rate in bits/s at time `now`.
+  double rate_bps(sim::TimeNs now) const;
+
+  /// Estimated utilization X / (C * tau) in [0, +inf) — can transiently
+  /// exceed 1 during bursts.
+  double utilization(sim::TimeNs now) const;
+
+  /// The Q-bit congestion metric: round(utilization * (2^Q - 1)), clamped to
+  /// [0, 2^Q - 1].
+  std::uint8_t quantized(sim::TimeNs now) const;
+
+  /// Largest representable metric value (2^Q - 1).
+  std::uint8_t max_metric() const { return max_metric_; }
+
+  const DreConfig& config() const { return cfg_; }
+  double raw_register(sim::TimeNs now) const;
+
+ private:
+  void decay_to(sim::TimeNs now) const;
+
+  DreConfig cfg_;
+  double capacity_bytes_per_tau_;  ///< C * tau, in bytes
+  std::uint8_t max_metric_;
+  mutable double x_ = 0.0;            ///< the register, in bytes
+  mutable std::int64_t last_period_ = 0;  ///< floor(now / Tdre) at last decay
+};
+
+}  // namespace conga::core

@@ -1,0 +1,56 @@
+#include "core/flowlet_table.hpp"
+
+namespace conga::core {
+
+FlowletTable::FlowletTable(const FlowletTableConfig& cfg)
+    : cfg_(cfg), entries_(cfg.num_entries) {}
+
+std::size_t FlowletTable::index(const net::FlowKey& key) const {
+  return static_cast<std::size_t>(key.hash() % entries_.size());
+}
+
+bool FlowletTable::expired(const Entry& e, sim::TimeNs now) const {
+  if (!e.valid) return true;
+  if (cfg_.expiry == FlowletExpiry::kTimestamp) {
+    return now - e.last_seen > cfg_.gap;
+  }
+  // Age-bit semantics: a timer fires at t = k*Tfl. At each tick, an entry
+  // whose age bit is still set (no packet since the *previous* tick) expires.
+  // The first tick that can expire an entry last touched at time s is the
+  // second tick boundary after s, i.e. (floor(s/Tfl) + 2) * Tfl.
+  const sim::TimeNs first_expiring_tick =
+      (e.last_seen / cfg_.gap + 2) * cfg_.gap;
+  return now >= first_expiring_tick;
+}
+
+int FlowletTable::lookup(const net::FlowKey& key, sim::TimeNs now) {
+  Entry& e = entries_[index(key)];
+  if (expired(e, now)) {
+    e.valid = false;
+    return -1;
+  }
+  e.last_seen = now;
+  return e.port;
+}
+
+void FlowletTable::install(const net::FlowKey& key, int port, sim::TimeNs now) {
+  Entry& e = entries_[index(key)];
+  e.port = port;
+  e.valid = true;
+  e.last_seen = now;
+  ++new_flowlets_;
+}
+
+int FlowletTable::last_port(const net::FlowKey& key) const {
+  return entries_[index(key)].port;
+}
+
+std::size_t FlowletTable::active_flowlets(sim::TimeNs now) const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.valid && !expired(e, now)) ++n;
+  }
+  return n;
+}
+
+}  // namespace conga::core

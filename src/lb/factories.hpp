@@ -1,0 +1,82 @@
+// Ready-made LoadBalancer factories for Fabric::install_lb.
+//
+// Each factory returns a callable creating one balancer per leaf; the
+// experiment harnesses pass them around as values so a scenario can be
+// re-run per scheme:
+//
+//   fabric.install_lb(lb::ecmp());
+//   fabric.install_lb(core::conga());                       // Tfl = 500us
+//   fabric.install_lb(core::conga(make_conga_flow_config()));  // CONGA-Flow
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/conga_lb.hpp"
+#include "lb/ecmp_lb.hpp"
+#include "lb/local_aware_lb.hpp"
+#include "lb/spray_lb.hpp"
+#include "lb/weighted_lb.hpp"
+#include "net/fabric.hpp"
+
+namespace conga::lb {
+
+inline net::Fabric::LbFactory ecmp() {
+  return [](net::LeafSwitch& leaf, const net::TopologyConfig&,
+            std::uint64_t seed) -> std::unique_ptr<LoadBalancer> {
+    return std::make_unique<EcmpLb>(leaf, seed);
+  };
+}
+
+inline net::Fabric::LbFactory spray() {
+  return [](net::LeafSwitch& leaf, const net::TopologyConfig&,
+            std::uint64_t) -> std::unique_ptr<LoadBalancer> {
+    return std::make_unique<SprayLb>(leaf);
+  };
+}
+
+inline net::Fabric::LbFactory local_aware(
+    core::FlowletTableConfig fcfg = {}) {
+  return [fcfg](net::LeafSwitch& leaf, const net::TopologyConfig&,
+                std::uint64_t) -> std::unique_ptr<LoadBalancer> {
+    return std::make_unique<LocalAwareLb>(leaf, fcfg);
+  };
+}
+
+inline net::Fabric::LbFactory local_equal(core::FlowletTableConfig fcfg = {}) {
+  return [fcfg](net::LeafSwitch& leaf, const net::TopologyConfig&,
+                std::uint64_t) -> std::unique_ptr<LoadBalancer> {
+    return std::make_unique<LocalEqualLb>(leaf, fcfg);
+  };
+}
+
+/// `weights` has one entry per uplink (same weights on every leaf).
+inline net::Fabric::LbFactory weighted(std::vector<double> weights,
+                                       core::FlowletTableConfig fcfg = {}) {
+  return [weights, fcfg](net::LeafSwitch& leaf, const net::TopologyConfig&,
+                         std::uint64_t) -> std::unique_ptr<LoadBalancer> {
+    return std::make_unique<WeightedLb>(leaf, weights, fcfg);
+  };
+}
+
+}  // namespace conga::lb
+
+namespace conga::core {
+
+inline net::Fabric::LbFactory conga(CongaConfig cfg = {},
+                                    std::string name = "CONGA") {
+  return [cfg, name](net::LeafSwitch& leaf, const net::TopologyConfig& topo,
+                     std::uint64_t) -> std::unique_ptr<lb::LoadBalancer> {
+    return std::make_unique<CongaLb>(leaf, topo.num_leaves, cfg, name);
+  };
+}
+
+/// CONGA-Flow: one congestion-aware decision per flow (§5 "Schemes
+/// compared").
+inline net::Fabric::LbFactory conga_flow(
+    sim::TimeNs gap = sim::milliseconds(13)) {
+  return conga(make_conga_flow_config(gap), "CONGA-Flow");
+}
+
+}  // namespace conga::core

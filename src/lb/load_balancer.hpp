@@ -1,0 +1,47 @@
+// Strategy interface for the source-leaf uplink choice.
+//
+// A LeafSwitch owns one LoadBalancer and consults it for every packet it
+// encapsulates toward the fabric. Congestion-aware schemes additionally get
+// (a) a hook on every fabric packet received at the destination leaf — where
+// CONGA harvests CE values and piggybacked feedback — and (b) an annotation
+// hook to stamp overlay fields on outgoing packets.
+//
+// Implementations in src/lb/ (ECMP, packet spray, local-aware, weighted) and
+// src/core/ (CONGA itself). Downstream users can plug their own scheme; see
+// examples/custom_lb.cpp.
+#pragma once
+
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace conga::net {
+class LeafSwitch;
+}
+
+namespace conga::lb {
+
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+
+  /// Chooses an index into the leaf's live uplink list for a packet headed to
+  /// `dst_leaf`. Called for every fabric-bound packet.
+  virtual int select_uplink(const net::Packet& pkt, net::LeafId dst_leaf,
+                            sim::TimeNs now) = 0;
+
+  /// Destination-leaf hook: invoked for every encapsulated packet received
+  /// from the fabric, before decapsulation.
+  virtual void on_fabric_receive(const net::Packet& /*pkt*/,
+                                 sim::TimeNs /*now*/) {}
+
+  /// Source-leaf hook: stamps overlay fields (LBTag, CE, feedback) on a
+  /// packet after `uplink` was selected.
+  virtual void annotate(net::Packet& /*pkt*/, int /*uplink*/,
+                        sim::TimeNs /*now*/) {}
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace conga::lb

@@ -1,0 +1,93 @@
+// Local congestion-aware balancing (the strawman of §2.4, in the spirit of
+// Flare / LocalFlow): picks, per flowlet, the uplink whose *local* DRE is
+// least loaded, ignoring downstream congestion. The paper shows this is
+// *worse than ECMP* under asymmetry (Fig 2b: 80 Gbps vs ECMP's 90), because
+// TCP backing off on the constrained path makes the local link look idle and
+// attracts yet more traffic. Included to reproduce that pathology.
+#pragma once
+
+#include "core/flowlet_table.hpp"
+#include "lb/load_balancer.hpp"
+#include "net/leaf_switch.hpp"
+
+namespace conga::lb {
+
+class LocalAwareLb final : public LoadBalancer {
+ public:
+  LocalAwareLb(net::LeafSwitch& leaf, const core::FlowletTableConfig& fcfg)
+      : leaf_(leaf), flowlets_(fcfg) {}
+
+  int select_uplink(const net::Packet& pkt, net::LeafId dst_leaf,
+                    sim::TimeNs now) override {
+    const net::FlowKey key = pkt.wire_key();
+    const int cached = flowlets_.lookup(key, now);
+    if (cached >= 0 && cached < static_cast<int>(leaf_.uplinks().size()) &&
+        leaf_.uplink_reaches(cached, dst_leaf)) {
+      return cached;
+    }
+    const auto& ups = leaf_.uplinks();
+    int best = -1;
+    double best_u = 0;
+    for (int i = 0; i < static_cast<int>(ups.size()); ++i) {
+      if (!leaf_.uplink_reaches(i, dst_leaf)) continue;
+      const double u =
+          ups[static_cast<std::size_t>(i)].link->dre().utilization(now);
+      if (best < 0 || u < best_u) {
+        best_u = u;
+        best = i;
+      }
+    }
+    flowlets_.install(key, best, now);
+    return best;
+  }
+
+  std::string name() const override { return "Local"; }
+
+ private:
+  net::LeafSwitch& leaf_;
+  core::FlowletTable flowlets_;
+};
+
+/// Strict equal-split local balancing (the LocalFlow / packet-scatter model
+/// of §2.4): per flowlet, pick the uplink that has transmitted the fewest
+/// bytes, enforcing an equal byte split regardless of downstream capacity.
+/// This is the baseline for which the paper derives the 80-of-100G Fig 2(b)
+/// equilibrium: the constrained path throttles its TCP flows, and equal
+/// splitting then drags the healthy path down to the same rate.
+class LocalEqualLb final : public LoadBalancer {
+ public:
+  LocalEqualLb(net::LeafSwitch& leaf, const core::FlowletTableConfig& fcfg)
+      : leaf_(leaf), flowlets_(fcfg) {}
+
+  int select_uplink(const net::Packet& pkt, net::LeafId dst_leaf,
+                    sim::TimeNs now) override {
+    const net::FlowKey key = pkt.wire_key();
+    const int cached = flowlets_.lookup(key, now);
+    if (cached >= 0 && cached < static_cast<int>(leaf_.uplinks().size()) &&
+        leaf_.uplink_reaches(cached, dst_leaf)) {
+      return cached;
+    }
+    const auto& ups = leaf_.uplinks();
+    int best = -1;
+    std::uint64_t best_bytes = 0;
+    for (int i = 0; i < static_cast<int>(ups.size()); ++i) {
+      if (!leaf_.uplink_reaches(i, dst_leaf)) continue;
+      const std::uint64_t b =
+          ups[static_cast<std::size_t>(i)].link->bytes_sent();
+      if (best < 0 || b < best_bytes) {
+        best_bytes = b;
+        best = i;
+      }
+    }
+    flowlets_.install(key, best, now);
+    return best;
+  }
+
+  std::string name() const override { return "LocalEq"; }
+
+ private:
+  net::LeafSwitch& leaf_;
+  core::FlowletTable flowlets_;
+};
+
+}  // namespace conga::lb

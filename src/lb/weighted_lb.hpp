@@ -1,0 +1,33 @@
+// Static weighted random balancing (oblivious routing, §2.4): each flowlet
+// picks uplink i with probability weight_i. With weights proportional to
+// downstream capacity this fixes Fig 2's asymmetry — but, as Fig 3 shows, no
+// static weighting can be right for every traffic matrix, which is the
+// paper's argument for congestion feedback. Included to reproduce Fig 3.
+#pragma once
+
+#include <vector>
+
+#include "core/flowlet_table.hpp"
+#include "lb/load_balancer.hpp"
+#include "net/leaf_switch.hpp"
+
+namespace conga::lb {
+
+class WeightedLb final : public LoadBalancer {
+ public:
+  /// `weights` must have one non-negative entry per leaf uplink.
+  WeightedLb(net::LeafSwitch& leaf, std::vector<double> weights,
+             const core::FlowletTableConfig& fcfg);
+
+  int select_uplink(const net::Packet& pkt, net::LeafId dst_leaf,
+                    sim::TimeNs now) override;
+
+  std::string name() const override { return "Weighted"; }
+
+ private:
+  net::LeafSwitch& leaf_;
+  std::vector<double> cumulative_;  ///< normalized CDF over uplinks
+  core::FlowletTable flowlets_;
+};
+
+}  // namespace conga::lb

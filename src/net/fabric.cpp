@@ -1,0 +1,277 @@
+#include "net/fabric.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace conga::net {
+
+namespace {
+/// Finds the override for a (leaf, spine, parallel) triple, if any.
+const LinkOverride* find_override(const TopologyConfig& cfg, int leaf,
+                                  int spine, int parallel) {
+  for (const LinkOverride& o : cfg.overrides) {
+    if (o.leaf == leaf && o.spine == spine && o.parallel == parallel) return &o;
+  }
+  return nullptr;
+}
+}  // namespace
+
+Fabric::Fabric(sim::Scheduler& sched, const TopologyConfig& cfg,
+               std::uint64_t seed)
+    : sched_(sched), cfg_(cfg), rng_(seed) {
+  if (const std::string err = cfg_.validate(); !err.empty()) {
+    throw std::invalid_argument("TopologyConfig: " + err);
+  }
+  build();
+}
+
+void Fabric::build() {
+  const int L = cfg_.num_leaves;
+  const int S = cfg_.num_spines;
+  const int H = cfg_.hosts_per_leaf;
+  const int P = cfg_.links_per_spine;
+
+  directory_.resize(static_cast<std::size_t>(L) * H);
+  for (int h = 0; h < L * H; ++h) {
+    directory_[static_cast<std::size_t>(h)] = h / H;
+  }
+
+  for (int l = 0; l < L; ++l) {
+    leaves_.push_back(std::make_unique<LeafSwitch>(
+        sched_, l, &directory_, rng_.engine()()));
+    if (cfg_.shared_buffer_bytes > 0) {
+      leaf_pools_.push_back(std::make_unique<SharedBufferPool>(
+          cfg_.shared_buffer_bytes, cfg_.shared_buffer_alpha));
+    }
+  }
+  for (int s = 0; s < S; ++s) {
+    spines_.push_back(std::make_unique<SpineSwitch>(s, L, rng_.engine()()));
+    if (cfg_.shared_buffer_bytes > 0) {
+      spine_pools_.push_back(std::make_unique<SharedBufferPool>(
+          cfg_.shared_buffer_bytes, cfg_.shared_buffer_alpha));
+    }
+  }
+  auto leaf_pool = [&](int l) -> SharedBufferPool* {
+    return leaf_pools_.empty() ? nullptr
+                               : leaf_pools_[static_cast<std::size_t>(l)].get();
+  };
+  auto spine_pool = [&](int s) -> SharedBufferPool* {
+    return spine_pools_.empty()
+               ? nullptr
+               : spine_pools_[static_cast<std::size_t>(s)].get();
+  };
+
+  // Hosts and access links.
+  LinkConfig edge;
+  edge.rate_bps = cfg_.host_link_bps;
+  edge.propagation_delay = cfg_.host_link_delay;
+  edge.queue_capacity_bytes = cfg_.edge_queue_bytes;
+  edge.ecn_threshold_bytes = cfg_.ecn_threshold_bytes;
+  edge.marks_ce = false;
+  edge.dre = cfg_.dre;
+  for (int h = 0; h < L * H; ++h) {
+    const LeafId l = directory_[static_cast<std::size_t>(h)];
+    auto host = std::make_unique<Host>(h, l);
+
+    LinkConfig nic = edge;
+    nic.queue_capacity_bytes = cfg_.nic_queue_bytes;
+    nic.ecn_threshold_bytes = 0;  // hosts don't CE-mark their own qdisc
+    auto up = std::make_unique<Link>(
+        sched_, "host" + std::to_string(h) + "->leaf" + std::to_string(l),
+        nic);
+    up->connect_to(leaves_[static_cast<std::size_t>(l)].get(), h);
+    host->attach_uplink(up.get());
+    host_up_.push_back(up.get());
+
+    LinkConfig down_cfg = edge;
+    down_cfg.shared_pool = leaf_pool(l);  // a leaf egress port
+    auto down = std::make_unique<Link>(
+        sched_, "leaf" + std::to_string(l) + "->host" + std::to_string(h),
+        down_cfg);
+    down->connect_to(host.get(), 0);
+    leaves_[static_cast<std::size_t>(l)]->add_host_port(h, down.get());
+    host_down_.push_back(down.get());
+
+    hosts_.push_back(std::move(host));
+    links_.push_back(std::move(up));
+    links_.push_back(std::move(down));
+  }
+
+  // Fabric links: for each (leaf, spine, parallel) pair, one link each way.
+  down_links_.assign(static_cast<std::size_t>(S),
+                     std::vector<std::vector<Link*>>(
+                         static_cast<std::size_t>(L),
+                         std::vector<Link*>(static_cast<std::size_t>(P),
+                                            nullptr)));
+  up_links_.assign(static_cast<std::size_t>(L),
+                   std::vector<std::vector<Link*>>(
+                       static_cast<std::size_t>(S),
+                       std::vector<Link*>(static_cast<std::size_t>(P),
+                                          nullptr)));
+  for (int l = 0; l < L; ++l) {
+    for (int s = 0; s < S; ++s) {
+      for (int p = 0; p < P; ++p) {
+        const LinkOverride* o = find_override(cfg_, l, s, p);
+        if (o != nullptr && o->rate_factor == 0.0) continue;  // failed
+
+        LinkConfig fab;
+        fab.rate_bps = cfg_.fabric_link_bps *
+                       (o != nullptr ? o->rate_factor : 1.0);
+        fab.propagation_delay = cfg_.fabric_link_delay;
+        fab.queue_capacity_bytes = cfg_.fabric_queue_bytes;
+        fab.ecn_threshold_bytes = cfg_.ecn_threshold_bytes;
+        fab.marks_ce = true;
+        fab.ce_sum = cfg_.ce_sum;
+        fab.dre = cfg_.dre;
+
+        const std::string tag = "l" + std::to_string(l) + "s" +
+                                std::to_string(s) + "p" + std::to_string(p);
+        LinkConfig up_cfg = fab;
+        up_cfg.shared_pool = leaf_pool(l);  // leaf egress toward the spine
+        auto up = std::make_unique<Link>(sched_, "up:" + tag, up_cfg);
+        up->connect_to(spines_[static_cast<std::size_t>(s)].get(), l);
+        leaves_[static_cast<std::size_t>(l)]->add_uplink(up.get(), s);
+        up_links_[static_cast<std::size_t>(l)][static_cast<std::size_t>(s)]
+                 [static_cast<std::size_t>(p)] = up.get();
+        fabric_links_.push_back(up.get());
+
+        fab.shared_pool = spine_pool(s);  // spine egress toward the leaf
+        auto down = std::make_unique<Link>(sched_, "down:" + tag, fab);
+        down->connect_to(leaves_[static_cast<std::size_t>(l)].get(),
+                         1000 + s * P + p);
+        spines_[static_cast<std::size_t>(s)]->add_downlink(l, down.get());
+        down_links_[static_cast<std::size_t>(s)][static_cast<std::size_t>(l)]
+                   [static_cast<std::size_t>(p)] = down.get();
+        fabric_links_.push_back(down.get());
+
+        links_.push_back(std::move(up));
+        links_.push_back(std::move(down));
+      }
+    }
+  }
+
+  recompute_reachability();
+}
+
+void Fabric::recompute_reachability() {
+  // Routing reachability: an uplink to spine s is a valid next hop for
+  // destination leaf d iff s currently has at least one live downlink to d.
+  const int L = cfg_.num_leaves;
+  const int P = cfg_.links_per_spine;
+  auto down_live = [&](int s, int d, int p) {
+    if (down_links_[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)]
+                   [static_cast<std::size_t>(p)] == nullptr) {
+      return false;
+    }
+    for (const auto& f : runtime_failed_) {
+      if (f[0] == d && f[1] == s && f[2] == p) return false;
+    }
+    return true;
+  };
+  for (int l = 0; l < L; ++l) {
+    LeafSwitch& lf = *leaves_[static_cast<std::size_t>(l)];
+    std::vector<std::vector<bool>> reaches(
+        lf.uplinks().size(),
+        std::vector<bool>(static_cast<std::size_t>(L), false));
+    for (std::size_t u = 0; u < lf.uplinks().size(); ++u) {
+      const int s = lf.uplinks()[u].spine;
+      for (int d = 0; d < L; ++d) {
+        for (int p = 0; p < P; ++p) {
+          if (down_live(s, d, p)) {
+            reaches[u][static_cast<std::size_t>(d)] = true;
+            break;
+          }
+        }
+      }
+    }
+    lf.set_uplink_reachability(std::move(reaches));
+  }
+}
+
+int Fabric::uplink_index(int leaf, Link* link) const {
+  const auto& ups = leaves_[static_cast<std::size_t>(leaf)]->uplinks();
+  for (std::size_t i = 0; i < ups.size(); ++i) {
+    if (ups[i].link == link) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Link* Fabric::up_link(int leaf, int spine, int parallel) {
+  return up_links_[static_cast<std::size_t>(leaf)]
+                  [static_cast<std::size_t>(spine)]
+                  [static_cast<std::size_t>(parallel)];
+}
+
+void Fabric::fail_fabric_link(int leaf, int spine, int parallel,
+                              sim::TimeNs detection_delay) {
+  Link* up = up_link(leaf, spine, parallel);
+  Link* down = down_link(spine, leaf, parallel);
+  assert(up != nullptr && down != nullptr && "link absent at build time");
+  // Dataplane dies immediately...
+  up->set_up(false);
+  down->set_up(false);
+  // ...the control plane notices after the detection window.
+  sched_.schedule_after(detection_delay, [this, leaf, spine, parallel, up,
+                                          down] {
+    runtime_failed_.push_back({leaf, spine, parallel});
+    leaves_[static_cast<std::size_t>(leaf)]->set_uplink_live(
+        uplink_index(leaf, up), false);
+    spines_[static_cast<std::size_t>(spine)]->remove_downlink(leaf, down);
+    recompute_reachability();
+  });
+}
+
+void Fabric::restore_fabric_link(int leaf, int spine, int parallel,
+                                 sim::TimeNs detection_delay) {
+  Link* up = up_link(leaf, spine, parallel);
+  Link* down = down_link(spine, leaf, parallel);
+  assert(up != nullptr && down != nullptr);
+  up->set_up(true);
+  down->set_up(true);
+  sched_.schedule_after(detection_delay, [this, leaf, spine, parallel, up,
+                                          down] {
+    for (auto it = runtime_failed_.begin(); it != runtime_failed_.end();
+         ++it) {
+      if ((*it)[0] == leaf && (*it)[1] == spine && (*it)[2] == parallel) {
+        runtime_failed_.erase(it);
+        break;
+      }
+    }
+    leaves_[static_cast<std::size_t>(leaf)]->set_uplink_live(
+        uplink_index(leaf, up), true);
+    spines_[static_cast<std::size_t>(spine)]->add_downlink(leaf, down);
+    recompute_reachability();
+  });
+}
+
+void Fabric::install_lb(const LbFactory& factory) {
+  for (auto& leaf : leaves_) {
+    leaf->set_load_balancer(factory(*leaf, cfg_, rng_.engine()()));
+  }
+}
+
+Link* Fabric::down_link(int spine, int leaf, int parallel) {
+  return down_links_[static_cast<std::size_t>(spine)]
+                    [static_cast<std::size_t>(leaf)]
+                    [static_cast<std::size_t>(parallel)];
+}
+
+sim::TimeNs Fabric::one_way_latency(std::uint32_t bytes) const {
+  // host->leaf, leaf->spine, spine->leaf, leaf->host.
+  auto ser = [](double rate_bps, std::uint32_t b) {
+    return static_cast<sim::TimeNs>(static_cast<double>(b) * 8.0 / rate_bps *
+                                    1e9);
+  };
+  return ser(cfg_.host_link_bps, bytes) + cfg_.host_link_delay +
+         2 * (ser(cfg_.fabric_link_bps, bytes + kOverlayHeaderBytes) +
+              cfg_.fabric_link_delay) +
+         ser(cfg_.host_link_bps, bytes) + cfg_.host_link_delay;
+}
+
+sim::TimeNs Fabric::base_rtt(std::uint32_t bytes) const {
+  // Data one way, a pure ACK back.
+  return one_way_latency(bytes) + one_way_latency(kAckBytes);
+}
+
+}  // namespace conga::net

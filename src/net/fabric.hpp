@@ -1,0 +1,121 @@
+// Fabric: builds and owns a complete Leaf-Spine network instance.
+//
+// Construction wires hosts, leaves, spines and every (unidirectional) link
+// per the TopologyConfig, applying failure/degradation overrides. Load
+// balancers are installed afterwards via a factory, so one topology can be
+// re-created identically for each scheme under comparison.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "lb/load_balancer.hpp"
+#include "net/host.hpp"
+#include "net/leaf_switch.hpp"
+#include "net/link.hpp"
+#include "net/spine_switch.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace conga::net {
+
+class Fabric {
+ public:
+  /// A factory producing one LoadBalancer per leaf. The leaf is fully wired
+  /// (all uplinks present) when invoked.
+  using LbFactory = std::function<std::unique_ptr<lb::LoadBalancer>(
+      LeafSwitch& leaf, const TopologyConfig& cfg, std::uint64_t seed)>;
+
+  Fabric(sim::Scheduler& sched, const TopologyConfig& cfg,
+         std::uint64_t seed = 1);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Installs a load balancer on every leaf.
+  void install_lb(const LbFactory& factory);
+
+  // --- accessors ---
+  sim::Scheduler& scheduler() { return sched_; }
+  const TopologyConfig& config() const { return cfg_; }
+
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  Host& host(HostId h) { return *hosts_[static_cast<std::size_t>(h)]; }
+  LeafSwitch& leaf(int l) { return *leaves_[static_cast<std::size_t>(l)]; }
+  SpineSwitch& spine(int s) { return *spines_[static_cast<std::size_t>(s)]; }
+  int num_leaves() const { return static_cast<int>(leaves_.size()); }
+  int num_spines() const { return static_cast<int>(spines_.size()); }
+
+  /// The leaf a host attaches to.
+  LeafId leaf_of(HostId h) const { return directory_[static_cast<std::size_t>(h)]; }
+  const std::vector<LeafId>& directory() const { return directory_; }
+
+  /// The spine -> leaf link for (spine, leaf, parallel); nullptr if failed.
+  Link* down_link(int spine, int leaf, int parallel);
+  /// The host's access links.
+  Link* host_to_leaf(HostId h) { return host_up_[static_cast<std::size_t>(h)]; }
+  Link* leaf_to_host(HostId h) { return host_down_[static_cast<std::size_t>(h)]; }
+
+  /// All fabric (leaf<->spine) links that exist, for fleet-wide stats
+  /// (Fig 16 reports queue lengths at every fabric port).
+  const std::vector<Link*>& fabric_links() const { return fabric_links_; }
+
+  /// Fails a live leaf<->spine link pair at runtime (packets blackhole
+  /// immediately); after `detection_delay` the routing layer notices and
+  /// withdraws the link from the leaf's and spine's forwarding state.
+  /// Models the failure-detection window real fabrics have.
+  void fail_fabric_link(int leaf, int spine, int parallel,
+                        sim::TimeNs detection_delay = 0);
+
+  /// Restores a previously failed link pair (forwarding state is reinstated
+  /// after `detection_delay`).
+  void restore_fabric_link(int leaf, int spine, int parallel,
+                           sim::TimeNs detection_delay = 0);
+
+  /// One-way host-to-host latency across the spine for a single packet of
+  /// `bytes` on an idle fabric (store-and-forward serialization at each of
+  /// the 4 hops plus propagation).
+  sim::TimeNs one_way_latency(std::uint32_t bytes) const;
+
+  /// Base round-trip time host-to-host across the spine with empty queues
+  /// (serialization of a `bytes` packet at each hop + propagation, plus the
+  /// return of a `kAckBytes` ACK). Used for optimal-FCT normalization.
+  sim::TimeNs base_rtt(std::uint32_t bytes) const;
+
+ private:
+  void build();
+  /// Recomputes every leaf's per-destination reachability from the spines'
+  /// current downlink state (runtime failures change it).
+  void recompute_reachability();
+  /// The leaf -> spine link for (leaf, spine, parallel); nullptr if it was
+  /// removed at build time.
+  Link* up_link(int leaf, int spine, int parallel);
+  int uplink_index(int leaf, Link* link) const;
+
+  sim::Scheduler& sched_;
+  TopologyConfig cfg_;
+  sim::Rng rng_;
+  std::vector<LeafId> directory_;
+  // Per-switch shared buffer pools (empty when static buffering is used).
+  std::vector<std::unique_ptr<SharedBufferPool>> leaf_pools_;
+  std::vector<std::unique_ptr<SharedBufferPool>> spine_pools_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<LeafSwitch>> leaves_;
+  std::vector<std::unique_ptr<SpineSwitch>> spines_;
+  std::vector<std::unique_ptr<Link>> links_;  // owns every link
+  std::vector<Link*> host_up_;
+  std::vector<Link*> host_down_;
+  std::vector<Link*> fabric_links_;
+  // [spine][leaf][parallel] -> link or nullptr
+  std::vector<std::vector<std::vector<Link*>>> down_links_;
+  // [leaf][spine][parallel] -> link or nullptr
+  std::vector<std::vector<std::vector<Link*>>> up_links_;
+  // (leaf, spine, parallel) triples failed at runtime (post-detection).
+  std::vector<std::array<int, 3>> runtime_failed_;
+};
+
+}  // namespace conga::net

@@ -1,0 +1,25 @@
+#include "net/host.hpp"
+
+#include <utility>
+
+namespace conga::net {
+
+void Host::receive(PacketPtr pkt, int /*in_port*/) {
+  bytes_received_ += pkt->size_bytes;
+  const auto it = endpoints_.find(pkt->flow);
+  if (it != endpoints_.end()) {
+    // Copy the handler before invoking: the callback may unregister this very
+    // flow, which would otherwise destroy the std::function mid-call.
+    Handler h = it->second;
+    h(std::move(pkt));
+    return;
+  }
+  if (default_handler_) {
+    default_handler_(std::move(pkt));
+    return;
+  }
+  // No endpoint and no default handler: drop silently (e.g. stray
+  // retransmissions arriving after a flow finished and deregistered).
+}
+
+}  // namespace conga::net

@@ -1,0 +1,60 @@
+// End host (server / VM).
+//
+// A host owns nothing but its NIC link to the leaf and a demux table from
+// FlowKey to transport endpoints. Transport objects (TcpConnection, TcpSink,
+// MptcpConnection) register themselves per flow; unknown incoming flows go to
+// a default handler so receivers can spawn sinks on demand (the moral
+// equivalent of a listening socket).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+
+namespace conga::net {
+
+class Host : public Node {
+ public:
+  using Handler = std::function<void(PacketPtr)>;
+
+  Host(HostId id, LeafId leaf) : id_(id), leaf_(leaf) {}
+
+  /// Attaches the host -> leaf link (owned by the Fabric).
+  void attach_uplink(Link* to_leaf) { nic_ = to_leaf; }
+
+  /// Routes packets of `flow` (both data and ACK directions) to `h`.
+  void register_flow(const FlowKey& flow, Handler h) {
+    endpoints_[flow] = std::move(h);
+  }
+  void unregister_flow(const FlowKey& flow) { endpoints_.erase(flow); }
+
+  /// Handler for packets of flows with no registered endpoint (typically: a
+  /// sink factory installed by the workload driver).
+  void set_default_handler(Handler h) { default_handler_ = std::move(h); }
+
+  /// Transmits a packet out of the NIC.
+  void send(PacketPtr pkt) { nic_->send(std::move(pkt)); }
+
+  void receive(PacketPtr pkt, int in_port) override;
+  std::string name() const override { return "host" + std::to_string(id_); }
+
+  HostId id() const { return id_; }
+  LeafId leaf() const { return leaf_; }
+  Link* nic() { return nic_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  HostId id_;
+  LeafId leaf_;
+  Link* nic_ = nullptr;
+  std::unordered_map<FlowKey, Handler> endpoints_;
+  Handler default_handler_;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace conga::net

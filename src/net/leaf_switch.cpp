@@ -1,0 +1,79 @@
+#include "net/leaf_switch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace conga::net {
+
+LeafSwitch::LeafSwitch(sim::Scheduler& sched, LeafId id,
+                       const std::vector<LeafId>* directory,
+                       std::uint64_t rng_seed)
+    : sched_(sched), id_(id), directory_(directory), rng_(rng_seed) {}
+
+void LeafSwitch::add_host_port(HostId host, Link* down_link) {
+  down_links_.emplace_back(host, down_link);
+}
+
+int LeafSwitch::add_uplink(Link* up_link, int spine) {
+  uplinks_.push_back(Uplink{up_link, spine});
+  return static_cast<int>(uplinks_.size()) - 1;
+}
+
+void LeafSwitch::set_load_balancer(std::unique_ptr<lb::LoadBalancer> lb) {
+  lb_ = std::move(lb);
+}
+
+void LeafSwitch::forward_down(PacketPtr pkt) {
+  const HostId dst = wire_dst_host(*pkt);
+  const auto it =
+      std::find_if(down_links_.begin(), down_links_.end(),
+                   [dst](const auto& p) { return p.first == dst; });
+  assert(it != down_links_.end() && "destination host not on this leaf");
+  it->second->send(std::move(pkt));
+}
+
+void LeafSwitch::send_to_fabric(PacketPtr pkt, LeafId dst_leaf) {
+  assert(lb_ != nullptr && "no load balancer installed");
+  assert(!uplinks_.empty() && "leaf has no live uplinks");
+
+  pkt->overlay.valid = true;
+  pkt->overlay.src_leaf = id_;
+  pkt->overlay.dst_leaf = dst_leaf;
+  pkt->overlay.ce = 0;
+  pkt->overlay.fb_valid = false;
+  pkt->size_bytes += kOverlayHeaderBytes;
+
+  const sim::TimeNs now = sched_.now();
+  int up = lb_->select_uplink(*pkt, dst_leaf, now);
+  assert(up >= 0 && up < static_cast<int>(uplinks_.size()));
+  pkt->overlay.lbtag = static_cast<std::uint8_t>(up);
+  lb_->annotate(*pkt, up, now);
+
+  ++packets_to_fabric_;
+  uplinks_[static_cast<std::size_t>(up)].link->send(std::move(pkt));
+}
+
+void LeafSwitch::receive(PacketPtr pkt, int /*in_port*/) {
+  if (pkt->overlay.valid) {
+    // Arrived from the fabric: harvest CONGA state, decapsulate, deliver.
+    assert(pkt->overlay.dst_leaf == id_);
+    ++packets_from_fabric_;
+    if (lb_) lb_->on_fabric_receive(*pkt, sched_.now());
+    pkt->overlay = OverlayHeader{};
+    pkt->size_bytes -= kOverlayHeaderBytes;
+    forward_down(std::move(pkt));
+    return;
+  }
+
+  // Arrived from a host.
+  const HostId dst = wire_dst_host(*pkt);
+  const LeafId dst_leaf = leaf_of(dst);
+  if (dst_leaf == id_) {
+    forward_down(std::move(pkt));
+  } else {
+    send_to_fabric(std::move(pkt), dst_leaf);
+  }
+}
+
+}  // namespace conga::net

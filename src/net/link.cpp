@@ -1,0 +1,62 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace conga::net {
+
+Link::Link(sim::Scheduler& sched, std::string name, const LinkConfig& cfg)
+    : sched_(sched),
+      name_(std::move(name)),
+      cfg_(cfg),
+      queue_(cfg.queue_capacity_bytes, cfg.ecn_threshold_bytes,
+             cfg.shared_pool),
+      dre_(cfg.dre, cfg.rate_bps) {}
+
+void Link::connect_to(Node* dst, int dst_port) {
+  dst_ = dst;
+  dst_port_ = dst_port;
+}
+
+void Link::send(PacketPtr pkt) {
+  assert(dst_ != nullptr && "link not connected");
+  if (!up_) return;  // black-hole on a failed link
+  if (!queue_.enqueue(std::move(pkt), sched_.now())) return;  // tail drop
+  if (!busy_) start_transmission();
+}
+
+void Link::start_transmission() {
+  PacketPtr pkt = queue_.dequeue(sched_.now());
+  if (!pkt) return;
+  busy_ = true;
+
+  const sim::TimeNs now = sched_.now();
+  dre_.add(pkt->size_bytes, now);
+  if (cfg_.marks_ce && pkt->overlay.valid) {
+    const std::uint8_t q = dre_.quantized(now);
+    if (cfg_.ce_sum) {
+      pkt->overlay.ce = static_cast<std::uint8_t>(
+          std::min<int>(pkt->overlay.ce + q, dre_.max_metric()));
+    } else {
+      pkt->overlay.ce = std::max(pkt->overlay.ce, q);
+    }
+  }
+
+  bytes_sent_ += pkt->size_bytes;
+  ++packets_sent_;
+
+  const sim::TimeNs ser = serialization_delay(pkt->size_bytes);
+  // Wire free after serialization: start on the next queued packet.
+  sched_.schedule_after(ser, [this] {
+    busy_ = false;
+    if (!queue_.empty()) start_transmission();
+  });
+  // Far end sees the packet after serialization + propagation.
+  sched_.schedule_after(ser + cfg_.propagation_delay,
+                        [this, p = std::move(pkt)]() mutable {
+                          dst_->receive(std::move(p), dst_port_);
+                        });
+}
+
+}  // namespace conga::net

@@ -1,0 +1,89 @@
+// Unidirectional link: egress queue + serialization + propagation + DRE.
+//
+// The link models an output-queued switch port. A packet handed to send() is
+// enqueued; when the wire is free the head packet begins transmission, at
+// which point the link's DRE is charged and — on fabric links — the packet's
+// CE field is raised to the link's quantized congestion metric (paper §3.3
+// step 2: "its CE field is updated if the link's congestion metric is larger
+// than the current value in the packet").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/dre.hpp"
+#include "net/node.hpp"
+#include "net/queue.hpp"
+#include "sim/scheduler.hpp"
+
+namespace conga::net {
+
+struct LinkConfig {
+  double rate_bps = 10e9;
+  sim::TimeNs propagation_delay = sim::microseconds(1);
+  std::uint64_t queue_capacity_bytes = 2'000'000;
+  /// Queue depth above which packets get ECN CE marks (0 = ECN off). DCTCP's
+  /// K parameter; independent of CONGA's CE *path-congestion* field.
+  std::uint64_t ecn_threshold_bytes = 0;
+  /// Optional switch-level shared buffer this port draws from.
+  SharedBufferPool* shared_pool = nullptr;
+  bool marks_ce = false;  ///< fabric links update CE; edge links do not
+  /// CE aggregation along the path: false = max of link metrics (the paper's
+  /// choice, emphasizing the bottleneck), true = clamped sum (§7 "Other path
+  /// metrics", the 4/3-PoA alternative that needs wider header fields).
+  bool ce_sum = false;
+  core::DreConfig dre;
+};
+
+class Link {
+ public:
+  Link(sim::Scheduler& sched, std::string name, const LinkConfig& cfg);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Connects the far end. Must be called before any send().
+  void connect_to(Node* dst, int dst_port);
+
+  /// Hands a packet to the link for transmission (possibly dropping it).
+  void send(PacketPtr pkt);
+
+  /// Administratively disables the link: packets handed to a down link are
+  /// dropped. (Used to model failures discovered by the routing layer; the
+  /// topology normally removes failed links from forwarding tables instead.)
+  void set_up(bool up) { up_ = up; }
+  bool is_up() const { return up_; }
+
+  double rate_bps() const { return cfg_.rate_bps; }
+  const std::string& name() const { return name_; }
+  const DropTailQueue& queue() const { return queue_; }
+  core::Dre& dre() { return dre_; }
+  const core::Dre& dre() const { return dre_; }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+
+  /// Average delivered throughput in bits/s over [t0, t1], from the byte
+  /// counter deltas the caller snapshots. Convenience for tests.
+  sim::TimeNs serialization_delay(std::uint32_t bytes) const {
+    return static_cast<sim::TimeNs>(static_cast<double>(bytes) * 8.0 /
+                                    cfg_.rate_bps * 1e9);
+  }
+
+ private:
+  void start_transmission();
+
+  sim::Scheduler& sched_;
+  std::string name_;
+  LinkConfig cfg_;
+  Node* dst_ = nullptr;
+  int dst_port_ = -1;
+  DropTailQueue queue_;
+  core::Dre dre_;
+  bool busy_ = false;
+  bool up_ = true;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace conga::net

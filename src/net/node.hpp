@@ -1,0 +1,21 @@
+// Base interface for anything that can receive packets from a link.
+#pragma once
+
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace conga::net {
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Delivers a packet arriving on `in_port` (the receiving node's port
+  /// numbering; -1 when the sender did not specify one).
+  virtual void receive(PacketPtr pkt, int in_port) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace conga::net

@@ -1,0 +1,14 @@
+#include "net/packet.hpp"
+
+#include <atomic>
+
+namespace conga::net {
+
+PacketPtr make_packet() {
+  static std::atomic<std::uint64_t> next_id{1};
+  auto p = std::make_unique<Packet>();
+  p->id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+}  // namespace conga::net

@@ -1,0 +1,135 @@
+// Packet model.
+//
+// A single packet struct serves the whole stack: the TCP header fields, and
+// the VXLAN-style overlay header CONGA piggybacks on (§3.1 of the paper:
+// LBTag 4b, CE 3b, FB_LBTag 4b, FB_Metric 3b). Field widths larger than the
+// ASIC's are used in memory, but values are always masked to the paper's
+// widths by the CONGA logic so quantization behaviour is faithful.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/time.hpp"
+
+namespace conga::net {
+
+using HostId = std::int32_t;
+using LeafId = std::int32_t;
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mix. Seeded hashers must run
+/// this *after* XORing their seed — a bare `hash ^ seed` keeps seeds
+/// correlated (two seeds differing in the low bits produce permuted, not
+/// independent, bucket assignments).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Inner 5-tuple, always stated in the *data* direction of a connection
+/// (sender -> receiver); ACKs carry the same key with `is_ack` set. This
+/// keeps endpoint demux trivial while still giving hash-based mechanisms
+/// (ECMP, flowlet table) a stable per-connection identity.
+struct FlowKey {
+  HostId src_host = -1;
+  HostId dst_host = -1;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  /// Stable 64-bit mix of the tuple (SplitMix64 over the packed fields), the
+  /// base for ECMP and flowlet hashing. Per-switch seeds are XORed in by the
+  /// consumers so different switches make independent choices.
+  std::uint64_t hash() const {
+    std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_host)) << 32) |
+                      static_cast<std::uint32_t>(dst_host);
+    x ^= (static_cast<std::uint64_t>(src_port) << 16 | dst_port) * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+};
+
+/// Reverses a key (used when constructing the ACK direction's wire identity,
+/// e.g. for CONGA, which sees the ACK stream as reverse-direction traffic).
+inline FlowKey reversed(const FlowKey& k) {
+  return FlowKey{k.dst_host, k.src_host, k.dst_port, k.src_port};
+}
+
+/// One SACK block: received bytes [start, end).
+struct SackBlock {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+/// TCP header state carried by every packet.
+struct TcpHeader {
+  std::uint64_t seq = 0;        ///< first payload byte (data) / echo (ack)
+  std::uint64_t ack = 0;        ///< cumulative ack (valid if is_ack)
+  std::uint32_t payload = 0;    ///< payload bytes carried
+  bool is_ack = false;          ///< pure ACK traveling receiver -> sender
+  bool fin = false;             ///< last segment of the flow
+  std::uint32_t subflow = 0;    ///< MPTCP subflow index (0 for plain TCP)
+  std::uint64_t echo_ts = 0;    ///< sender timestamp echoed by ACKs (RTT est.)
+  std::uint8_t sack_count = 0;  ///< valid entries in `sack` (ACKs only)
+  std::array<SackBlock, 3> sack{};  ///< out-of-order blocks held (RFC 2018)
+};
+
+/// VXLAN-style overlay header with CONGA's fields (§3.1).
+struct OverlayHeader {
+  bool valid = false;           ///< packet is encapsulated (inter-leaf)
+  LeafId src_leaf = -1;
+  LeafId dst_leaf = -1;
+  std::uint8_t lbtag = 0;       ///< source-leaf uplink port (4 bits)
+  std::uint8_t ce = 0;          ///< max path congestion so far (Q bits)
+  bool fb_valid = false;        ///< feedback pair present
+  std::uint8_t fb_lbtag = 0;    ///< which uplink the feedback refers to
+  std::uint8_t fb_metric = 0;   ///< its congestion metric
+};
+
+/// Wire overheads, in bytes.
+constexpr std::uint32_t kIpTcpHeaderBytes = 40;    // IP(20) + TCP(20)
+constexpr std::uint32_t kOverlayHeaderBytes = 50;  // outer Eth+IP+UDP+VXLAN
+constexpr std::uint32_t kAckBytes = kIpTcpHeaderBytes + 24;  // pure ACK frame
+
+struct Packet {
+  std::uint64_t id = 0;          ///< globally unique, for tracing
+  FlowKey flow;                  ///< data-direction 5-tuple
+  std::uint32_t size_bytes = 0;  ///< total bytes on the wire (incl. headers)
+  sim::TimeNs enqueued_at = 0;   ///< set by queues, for latency accounting
+  bool ecn_ce = false;           ///< ECN Congestion-Experienced codepoint
+  bool ecn_echo = false;         ///< ECE on ACKs (echoed per packet, DCTCP)
+  TcpHeader tcp;
+  OverlayHeader overlay;
+
+  /// The 5-tuple as seen on the wire for this packet's direction of travel:
+  /// data packets travel along `flow`, ACKs along the reversed key. Hashing
+  /// mechanisms (ECMP, flowlets) must use this so that the forward and
+  /// reverse streams of one connection are balanced independently, exactly
+  /// as a real switch hashing the actual header would.
+  FlowKey wire_key() const { return tcp.is_ack ? reversed(flow) : flow; }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/// Creates a packet with a fresh globally unique id.
+PacketPtr make_packet();
+
+}  // namespace conga::net
+
+template <>
+struct std::hash<conga::net::FlowKey> {
+  std::size_t operator()(const conga::net::FlowKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hash());
+  }
+};

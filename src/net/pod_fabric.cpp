@@ -1,0 +1,235 @@
+#include "net/pod_fabric.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace conga::net {
+
+namespace {
+const CoreLinkOverride* find_override(const PodTopologyConfig& cfg, int pod,
+                                      int spine, int core) {
+  for (const CoreLinkOverride& o : cfg.core_overrides) {
+    if (o.pod == pod && o.spine == spine && o.core == core) return &o;
+  }
+  return nullptr;
+}
+}  // namespace
+
+std::string PodTopologyConfig::validate() const {
+  if (num_pods < 1) return "num_pods must be >= 1";
+  if (leaves_per_pod < 1) return "leaves_per_pod must be >= 1";
+  if (spines_per_pod < 1) return "spines_per_pod must be >= 1";
+  if (hosts_per_leaf < 1) return "hosts_per_leaf must be >= 1";
+  if (num_cores < 1) return "num_cores must be >= 1";
+  if (spines_per_pod > 16) return "LBTag is 4 bits: at most 16 leaf uplinks";
+  for (const CoreLinkOverride& o : core_overrides) {
+    if (o.pod < 0 || o.pod >= num_pods) return "override: pod out of range";
+    if (o.spine < 0 || o.spine >= spines_per_pod)
+      return "override: spine out of range";
+    if (o.core < 0 || o.core >= num_cores)
+      return "override: core out of range";
+    if (o.rate_factor < 0) return "override: negative rate factor";
+  }
+  return {};
+}
+
+PodFabric::PodFabric(sim::Scheduler& sched, const PodTopologyConfig& cfg,
+                     std::uint64_t seed)
+    : sched_(sched), cfg_(cfg), rng_(seed) {
+  if (const std::string err = cfg_.validate(); !err.empty()) {
+    throw std::invalid_argument("PodTopologyConfig: " + err);
+  }
+  build();
+}
+
+void PodFabric::build() {
+  const int P = cfg_.num_pods;
+  const int Lp = cfg_.leaves_per_pod;
+  const int Sp = cfg_.spines_per_pod;
+  const int H = cfg_.hosts_per_leaf;
+  const int C = cfg_.num_cores;
+  const int L = P * Lp;
+
+  directory_.resize(static_cast<std::size_t>(L) * H);
+  leaf_to_pod_.resize(static_cast<std::size_t>(L));
+  for (int h = 0; h < L * H; ++h) directory_[static_cast<std::size_t>(h)] = h / H;
+  for (int l = 0; l < L; ++l) leaf_to_pod_[static_cast<std::size_t>(l)] = l / Lp;
+
+  for (int l = 0; l < L; ++l) {
+    leaves_.push_back(std::make_unique<LeafSwitch>(sched_, l, &directory_,
+                                                   rng_.engine()()));
+  }
+  for (int p = 0; p < P; ++p) {
+    for (int s = 0; s < Sp; ++s) {
+      spines_.push_back(
+          std::make_unique<SpineSwitch>(p * Sp + s, L, rng_.engine()()));
+      spines_.back()->set_pod_membership(leaf_to_pod_, p);
+    }
+  }
+  for (int c = 0; c < C; ++c) {
+    cores_.push_back(
+        std::make_unique<CoreSwitch>(c, leaf_to_pod_, P, rng_.engine()()));
+  }
+
+  // Hosts and access links.
+  LinkConfig edge;
+  edge.rate_bps = cfg_.host_link_bps;
+  edge.propagation_delay = cfg_.host_link_delay;
+  edge.queue_capacity_bytes = cfg_.edge_queue_bytes;
+  edge.marks_ce = false;
+  edge.dre = cfg_.dre;
+  for (int h = 0; h < L * H; ++h) {
+    const LeafId l = directory_[static_cast<std::size_t>(h)];
+    auto host = std::make_unique<Host>(h, l);
+    LinkConfig nic = edge;
+    nic.queue_capacity_bytes = cfg_.nic_queue_bytes;
+    auto up = std::make_unique<Link>(
+        sched_, "host" + std::to_string(h) + "->leaf" + std::to_string(l), nic);
+    up->connect_to(leaves_[static_cast<std::size_t>(l)].get(), h);
+    host->attach_uplink(up.get());
+    auto down = std::make_unique<Link>(
+        sched_, "leaf" + std::to_string(l) + "->host" + std::to_string(h),
+        edge);
+    down->connect_to(host.get(), 0);
+    leaves_[static_cast<std::size_t>(l)]->add_host_port(h, down.get());
+    hosts_.push_back(std::move(host));
+    links_.push_back(std::move(up));
+    links_.push_back(std::move(down));
+  }
+
+  // Pod fabric links: each pod leaf to each pod spine (single links).
+  LinkConfig fab;
+  fab.rate_bps = cfg_.fabric_link_bps;
+  fab.propagation_delay = cfg_.fabric_link_delay;
+  fab.queue_capacity_bytes = cfg_.fabric_queue_bytes;
+  fab.marks_ce = true;
+  fab.dre = cfg_.dre;
+  for (int p = 0; p < P; ++p) {
+    for (int lp = 0; lp < Lp; ++lp) {
+      const int l = p * Lp + lp;
+      for (int s = 0; s < Sp; ++s) {
+        SpineSwitch* spine = spines_[static_cast<std::size_t>(p * Sp + s)].get();
+        const std::string tag =
+            "l" + std::to_string(l) + "s" + std::to_string(p * Sp + s);
+        auto up = std::make_unique<Link>(sched_, "up:" + tag, fab);
+        up->connect_to(spine, l);
+        leaves_[static_cast<std::size_t>(l)]->add_uplink(up.get(), p * Sp + s);
+        fabric_links_.push_back(up.get());
+        auto down = std::make_unique<Link>(sched_, "down:" + tag, fab);
+        down->connect_to(leaves_[static_cast<std::size_t>(l)].get(), 1000 + s);
+        spine->add_downlink(l, down.get());
+        fabric_links_.push_back(down.get());
+        links_.push_back(std::move(up));
+        links_.push_back(std::move(down));
+      }
+    }
+  }
+
+  // Core links: every pod spine to every core, both directions.
+  up_to_core_.assign(
+      static_cast<std::size_t>(P),
+      std::vector<std::vector<Link*>>(
+          static_cast<std::size_t>(Sp),
+          std::vector<Link*>(static_cast<std::size_t>(C), nullptr)));
+  down_from_core_.assign(
+      static_cast<std::size_t>(C),
+      std::vector<std::vector<Link*>>(
+          static_cast<std::size_t>(P),
+          std::vector<Link*>(static_cast<std::size_t>(Sp), nullptr)));
+  for (int p = 0; p < P; ++p) {
+    for (int s = 0; s < Sp; ++s) {
+      for (int c = 0; c < C; ++c) {
+        const CoreLinkOverride* o = find_override(cfg_, p, s, c);
+        if (o != nullptr && o->rate_factor == 0.0) continue;
+        LinkConfig core_cfg = fab;
+        core_cfg.rate_bps =
+            cfg_.core_link_bps * (o != nullptr ? o->rate_factor : 1.0);
+        SpineSwitch* spine = spines_[static_cast<std::size_t>(p * Sp + s)].get();
+        const std::string tag = "p" + std::to_string(p) + "s" +
+                                std::to_string(s) + "c" + std::to_string(c);
+        auto up = std::make_unique<Link>(sched_, "core-up:" + tag, core_cfg);
+        up->connect_to(cores_[static_cast<std::size_t>(c)].get(), p * Sp + s);
+        spine->add_core_uplink(up.get());
+        up_to_core_[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)]
+                   [static_cast<std::size_t>(c)] = up.get();
+        fabric_links_.push_back(up.get());
+        auto down = std::make_unique<Link>(sched_, "core-down:" + tag, core_cfg);
+        down->connect_to(spine, 2000 + c);
+        cores_[static_cast<std::size_t>(c)]->add_pod_link(p, down.get());
+        down_from_core_[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)]
+                       [static_cast<std::size_t>(s)] = down.get();
+        fabric_links_.push_back(down.get());
+        links_.push_back(std::move(up));
+        links_.push_back(std::move(down));
+      }
+    }
+  }
+
+  // Leaf reachability: an uplink (to pod spine s) reaches
+  //  * a local leaf iff that spine has a downlink to it (always true here),
+  //  * a remote leaf iff the spine has >= 1 core uplink and some core has a
+  //    link into the destination pod.
+  for (int l = 0; l < L; ++l) {
+    LeafSwitch& lf = *leaves_[static_cast<std::size_t>(l)];
+    const int p = leaf_to_pod_[static_cast<std::size_t>(l)];
+    std::vector<std::vector<bool>> reaches(
+        lf.uplinks().size(),
+        std::vector<bool>(static_cast<std::size_t>(L), false));
+    for (std::size_t u = 0; u < lf.uplinks().size(); ++u) {
+      const int s = static_cast<int>(u);  // uplink u -> pod spine u
+      for (int d = 0; d < L; ++d) {
+        const int dp = leaf_to_pod_[static_cast<std::size_t>(d)];
+        if (dp == p) {
+          reaches[u][static_cast<std::size_t>(d)] = true;
+          continue;
+        }
+        bool ok = false;
+        for (int c = 0; c < C && !ok; ++c) {
+          if (up_to_core_[static_cast<std::size_t>(p)]
+                         [static_cast<std::size_t>(s)]
+                         [static_cast<std::size_t>(c)] == nullptr) {
+            continue;
+          }
+          for (int ds = 0; ds < Sp; ++ds) {
+            if (down_from_core_[static_cast<std::size_t>(c)]
+                               [static_cast<std::size_t>(dp)]
+                               [static_cast<std::size_t>(ds)] != nullptr) {
+              ok = true;
+              break;
+            }
+          }
+        }
+        reaches[u][static_cast<std::size_t>(d)] = ok;
+      }
+    }
+    lf.set_uplink_reachability(std::move(reaches));
+  }
+}
+
+void PodFabric::install_lb(const Fabric::LbFactory& factory) {
+  // Synthesize the 2-tier view the factories read (global leaf count etc.).
+  TopologyConfig flat;
+  flat.num_leaves = cfg_.num_leaves();
+  flat.num_spines = cfg_.spines_per_pod;
+  flat.hosts_per_leaf = cfg_.hosts_per_leaf;
+  flat.host_link_bps = cfg_.host_link_bps;
+  flat.fabric_link_bps = cfg_.fabric_link_bps;
+  flat.dre = cfg_.dre;
+  for (auto& leaf : leaves_) {
+    leaf->set_load_balancer(factory(*leaf, flat, rng_.engine()()));
+  }
+}
+
+Link* PodFabric::spine_to_core(int pod, int spine, int core) {
+  return up_to_core_[static_cast<std::size_t>(pod)]
+                    [static_cast<std::size_t>(spine)]
+                    [static_cast<std::size_t>(core)];
+}
+
+Link* PodFabric::core_to_spine(int core, int pod, int spine) {
+  return down_from_core_[static_cast<std::size_t>(core)]
+                        [static_cast<std::size_t>(pod)]
+                        [static_cast<std::size_t>(spine)];
+}
+
+}  // namespace conga::net

@@ -1,0 +1,125 @@
+// 3-tier pod fabric (paper §7, "Larger topologies").
+//
+// "Large datacenter networks are typically organized as multiple pods, each
+//  of which is a 2-tier Clos. Therefore, CONGA is beneficial even in these
+//  cases since it balances the traffic within each pod optimally ... and
+//  even for inter-pod traffic, CONGA makes better decisions than ECMP at the
+//  first hop."
+//
+// Structure: `num_pods` pods, each a Leaf-Spine Clos; every pod spine
+// connects to every core switch. Forwarding: the source leaf picks an uplink
+// (any LoadBalancer, incl. CONGA); a spine delivers intra-pod destinations
+// directly and sends inter-pod traffic to the core by ECMP; cores ECMP into
+// the destination pod's spines. CONGA's leaf-to-leaf feedback spans the
+// whole path — the CE field keeps accumulating across the core hops, so the
+// source leaf's decision reflects 4-hop congestion even though only the
+// first hop is CONGA-controlled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/host.hpp"
+#include "net/leaf_switch.hpp"
+#include "net/link.hpp"
+#include "net/spine_switch.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace conga::net {
+
+struct CoreLinkOverride {
+  int pod = 0;
+  int spine = 0;  ///< spine index within the pod
+  int core = 0;
+  double rate_factor = 0.0;  ///< 0 = failed
+};
+
+struct PodTopologyConfig {
+  int num_pods = 2;
+  int leaves_per_pod = 2;
+  int spines_per_pod = 2;
+  int hosts_per_leaf = 4;
+  int num_cores = 2;
+
+  double host_link_bps = 10e9;
+  double fabric_link_bps = 40e9;
+  double core_link_bps = 40e9;
+  sim::TimeNs host_link_delay = sim::microseconds(1);
+  sim::TimeNs fabric_link_delay = sim::microseconds(1);
+
+  std::uint64_t edge_queue_bytes = 512 * 1024;
+  std::uint64_t fabric_queue_bytes = 2 * 1024 * 1024;
+  std::uint64_t nic_queue_bytes = 16 * 1024 * 1024;
+  core::DreConfig dre;
+
+  std::vector<CoreLinkOverride> core_overrides;
+
+  int num_leaves() const { return num_pods * leaves_per_pod; }
+  int num_hosts() const { return num_leaves() * hosts_per_leaf; }
+
+  std::string validate() const;
+};
+
+class PodFabric {
+ public:
+  PodFabric(sim::Scheduler& sched, const PodTopologyConfig& cfg,
+            std::uint64_t seed = 1);
+
+  PodFabric(const PodFabric&) = delete;
+  PodFabric& operator=(const PodFabric&) = delete;
+
+  /// Installs a LoadBalancer on every leaf (same factory type as Fabric; the
+  /// TopologyConfig handed to the factory carries the global leaf count).
+  void install_lb(const Fabric::LbFactory& factory);
+
+  sim::Scheduler& scheduler() { return sched_; }
+  const PodTopologyConfig& config() const { return cfg_; }
+
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  Host& host(HostId h) { return *hosts_[static_cast<std::size_t>(h)]; }
+  LeafSwitch& leaf(int global_leaf) {
+    return *leaves_[static_cast<std::size_t>(global_leaf)];
+  }
+  SpineSwitch& spine(int pod, int idx) {
+    return *spines_[static_cast<std::size_t>(pod * cfg_.spines_per_pod + idx)];
+  }
+  CoreSwitch& core(int c) { return *cores_[static_cast<std::size_t>(c)]; }
+
+  LeafId leaf_of(HostId h) const {
+    return directory_[static_cast<std::size_t>(h)];
+  }
+  int pod_of_leaf(int global_leaf) const {
+    return global_leaf / cfg_.leaves_per_pod;
+  }
+
+  /// The spine -> core link for (pod, spine, core); nullptr if failed.
+  Link* spine_to_core(int pod, int spine, int core);
+  /// The core -> spine link for (core, pod, spine); nullptr if failed.
+  Link* core_to_spine(int core, int pod, int spine);
+
+  const std::vector<Link*>& fabric_links() const { return fabric_links_; }
+
+ private:
+  void build();
+
+  sim::Scheduler& sched_;
+  PodTopologyConfig cfg_;
+  sim::Rng rng_;
+  std::vector<LeafId> directory_;
+  std::vector<int> leaf_to_pod_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<LeafSwitch>> leaves_;
+  std::vector<std::unique_ptr<SpineSwitch>> spines_;
+  std::vector<std::unique_ptr<CoreSwitch>> cores_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Link*> fabric_links_;
+  // [pod][spine][core] and [core][pod][spine]; nullptr where failed.
+  std::vector<std::vector<std::vector<Link*>>> up_to_core_;
+  std::vector<std::vector<std::vector<Link*>>> down_from_core_;
+};
+
+}  // namespace conga::net

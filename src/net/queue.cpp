@@ -1,0 +1,56 @@
+#include "net/queue.hpp"
+
+#include <algorithm>
+
+namespace conga::net {
+
+void DropTailQueue::account(sim::TimeNs now) {
+  byte_time_integral_ +=
+      static_cast<double>(bytes_) * static_cast<double>(now - last_change_);
+  last_change_ = now;
+}
+
+bool DropTailQueue::enqueue(PacketPtr pkt, sim::TimeNs now) {
+  bool admit = bytes_ + pkt->size_bytes <= capacity_bytes_;
+  if (admit && pool_ != nullptr) {
+    admit = bytes_ + pkt->size_bytes <= pool_->dynamic_limit();
+  }
+  if (!admit) {
+    ++stats_.dropped_pkts;
+    stats_.dropped_bytes += pkt->size_bytes;
+    return false;  // pkt freed here
+  }
+  if (pool_ != nullptr) pool_->reserve(pkt->size_bytes);
+  account(now);
+  if (ecn_threshold_bytes_ > 0 && bytes_ > ecn_threshold_bytes_) {
+    pkt->ecn_ce = true;
+    ++stats_.ecn_marked_pkts;
+  }
+  bytes_ += pkt->size_bytes;
+  ++stats_.enqueued_pkts;
+  stats_.enqueued_bytes += pkt->size_bytes;
+  stats_.max_bytes_seen = std::max(stats_.max_bytes_seen, bytes_);
+  pkt->enqueued_at = now;
+  q_.push_back(std::move(pkt));
+  return true;
+}
+
+PacketPtr DropTailQueue::dequeue(sim::TimeNs now) {
+  if (q_.empty()) return nullptr;
+  account(now);
+  PacketPtr pkt = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= pkt->size_bytes;
+  if (pool_ != nullptr) pool_->release(pkt->size_bytes);
+  return pkt;
+}
+
+double DropTailQueue::time_avg_bytes(sim::TimeNs now) const {
+  if (now <= 0) return 0.0;
+  const double integral =
+      byte_time_integral_ +
+      static_cast<double>(bytes_) * static_cast<double>(now - last_change_);
+  return integral / static_cast<double>(now);
+}
+
+}  // namespace conga::net

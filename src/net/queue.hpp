@@ -1,0 +1,96 @@
+// Drop-tail byte-bounded FIFO queue with occupancy statistics.
+//
+// One queue sits at the egress of every link (the standard output-queued
+// switch model). Statistics support the paper's queue-occupancy results:
+// Fig 11(c) needs an occupancy CDF at a hotspot port, Fig 16 needs the
+// time-averaged occupancy of every fabric port.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace conga::net {
+
+struct QueueStats {
+  std::uint64_t enqueued_pkts = 0;
+  std::uint64_t enqueued_bytes = 0;
+  std::uint64_t dropped_pkts = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t ecn_marked_pkts = 0;
+  std::uint64_t max_bytes_seen = 0;
+};
+
+/// Shared packet-buffer pool with dynamic per-queue thresholds — the
+/// admission scheme of real switch ASICs (and of the paper's testbed
+/// switches): a queue may grow while its occupancy stays below
+/// alpha * (free pool), so a single hot port can absorb most of the memory,
+/// but many simultaneously hot ports squeeze each other.
+class SharedBufferPool {
+ public:
+  SharedBufferPool(std::uint64_t total_bytes, double alpha)
+      : total_(total_bytes), alpha_(alpha) {}
+
+  /// Admission limit for a queue currently using `queue_bytes`.
+  std::uint64_t dynamic_limit() const {
+    const std::uint64_t free_bytes = total_ > used_ ? total_ - used_ : 0;
+    return static_cast<std::uint64_t>(alpha_ *
+                                      static_cast<double>(free_bytes));
+  }
+  void reserve(std::uint64_t bytes) { used_ += bytes; }
+  void release(std::uint64_t bytes) { used_ -= bytes; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::uint64_t total_;
+  double alpha_;
+  std::uint64_t used_ = 0;
+};
+
+class DropTailQueue {
+ public:
+  /// `ecn_threshold_bytes`: packets enqueued while the occupancy exceeds
+  /// this get the CE mark (DCTCP-style instantaneous-threshold marking);
+  /// 0 disables ECN. `pool`: optional switch-level shared buffer; when set,
+  /// admission also requires occupancy < the pool's dynamic limit.
+  explicit DropTailQueue(std::uint64_t capacity_bytes,
+                         std::uint64_t ecn_threshold_bytes = 0,
+                         SharedBufferPool* pool = nullptr)
+      : capacity_bytes_(capacity_bytes),
+        ecn_threshold_bytes_(ecn_threshold_bytes),
+        pool_(pool) {}
+
+  /// Attempts to enqueue; on overflow the packet is dropped (freed) and
+  /// false is returned.
+  bool enqueue(PacketPtr pkt, sim::TimeNs now);
+
+  /// Pops the head, or nullptr if empty.
+  PacketPtr dequeue(sim::TimeNs now);
+
+  bool empty() const { return q_.empty(); }
+  std::uint64_t bytes() const { return bytes_; }
+  std::size_t packets() const { return q_.size(); }
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+  const QueueStats& stats() const { return stats_; }
+
+  /// Time-average occupancy in bytes over [0, now].
+  double time_avg_bytes(sim::TimeNs now) const;
+
+ private:
+  void account(sim::TimeNs now);
+
+  std::uint64_t capacity_bytes_;
+  std::uint64_t ecn_threshold_bytes_;
+  SharedBufferPool* pool_;
+  std::uint64_t bytes_ = 0;
+  std::deque<PacketPtr> q_;
+  QueueStats stats_;
+  // Integral of occupancy over time, for time-averaged queue length.
+  double byte_time_integral_ = 0.0;
+  sim::TimeNs last_change_ = 0;
+};
+
+}  // namespace conga::net

@@ -1,0 +1,92 @@
+// Spine switch.
+//
+// Stateless per-flow: forwards on the outer (overlay) destination leaf. When
+// several parallel links lead to the destination leaf it picks one by ECMP
+// hash of the wire 5-tuple (paper §3.3 footnote: "the spine switches pick one
+// using standard ECMP hashing"). Its links' DREs mark CE as packets traverse
+// them — the spine's entire role in CONGA.
+//
+// In a 3-tier pod fabric (§7 "Larger topologies") the spine additionally
+// holds core uplinks: destinations outside its pod are forwarded to the core
+// tier by ECMP. CONGA still operates leaf-to-leaf end to end — the CE field
+// keeps accumulating across the extra hops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+
+namespace conga::net {
+
+class SpineSwitch : public Node {
+ public:
+  SpineSwitch(int id, int num_leaves, std::uint64_t hash_seed)
+      : id_(id), ports_to_leaf_(static_cast<std::size_t>(num_leaves)),
+        hash_seed_(hash_seed) {}
+
+  /// Registers a spine -> leaf link (possibly one of several in parallel).
+  void add_downlink(LeafId leaf, Link* link) {
+    ports_to_leaf_[static_cast<std::size_t>(leaf)].push_back(link);
+  }
+
+  /// Removes a failed downlink from the forwarding table.
+  void remove_downlink(LeafId leaf, Link* link);
+
+  /// 3-tier wiring: declares pod membership (per global leaf id) and this
+  /// spine's own pod. Destinations in other pods route via core uplinks.
+  void set_pod_membership(std::vector<int> leaf_to_pod, int my_pod) {
+    leaf_to_pod_ = std::move(leaf_to_pod);
+    my_pod_ = my_pod;
+  }
+  void add_core_uplink(Link* link) { core_uplinks_.push_back(link); }
+
+  void receive(PacketPtr pkt, int in_port) override;
+  std::string name() const override { return "spine" + std::to_string(id_); }
+
+  int id() const { return id_; }
+  std::uint64_t dropped_no_route() const { return dropped_no_route_; }
+
+ private:
+  int id_;
+  std::vector<std::vector<Link*>> ports_to_leaf_;
+  std::uint64_t hash_seed_;
+  std::uint64_t dropped_no_route_ = 0;
+  std::vector<int> leaf_to_pod_;  ///< empty in plain 2-tier fabrics
+  int my_pod_ = -1;
+  std::vector<Link*> core_uplinks_;
+};
+
+/// Core-tier switch of a 3-tier pod fabric: routes on the destination leaf's
+/// pod, ECMP over its links into that pod's spines. Stateless, like the
+/// spine; its links' DREs keep marking CE.
+class CoreSwitch : public Node {
+ public:
+  /// `leaf_to_pod` maps global leaf ids to pods.
+  CoreSwitch(int id, std::vector<int> leaf_to_pod, int num_pods,
+             std::uint64_t hash_seed)
+      : id_(id),
+        leaf_to_pod_(std::move(leaf_to_pod)),
+        ports_to_pod_(static_cast<std::size_t>(num_pods)),
+        hash_seed_(hash_seed) {}
+
+  void add_pod_link(int pod, Link* link) {
+    ports_to_pod_[static_cast<std::size_t>(pod)].push_back(link);
+  }
+
+  void receive(PacketPtr pkt, int in_port) override;
+  std::string name() const override { return "core" + std::to_string(id_); }
+
+  std::uint64_t dropped_no_route() const { return dropped_no_route_; }
+
+ private:
+  int id_;
+  std::vector<int> leaf_to_pod_;
+  std::vector<std::vector<Link*>> ports_to_pod_;
+  std::uint64_t hash_seed_;
+  std::uint64_t dropped_no_route_ = 0;
+};
+
+}  // namespace conga::net

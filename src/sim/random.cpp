@@ -1,0 +1,4 @@
+#include "sim/random.hpp"
+
+// Header-only for now; this translation unit anchors the module in the build
+// so the header gets compiled standalone at least once.

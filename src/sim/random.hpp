@@ -1,0 +1,63 @@
+// Seeded randomness utilities.
+//
+// Every stochastic component takes an explicit `Rng&` (or a seed), so whole
+// experiments are reproducible and tests can pin seeds. A thin wrapper over
+// std::mt19937_64 plus the distributions the workloads need.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace conga::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Exponential with the given mean (used for Poisson inter-arrivals).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Bernoulli with probability p of true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Picks a uniformly random index in [0, n).
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Derives an independent child RNG (e.g. one per traffic source) so that
+  /// adding a component does not perturb the random streams of others.
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+/// Fisher-Yates shuffle using the simulation RNG (std::shuffle's results are
+/// implementation-defined across standard libraries; this one is portable and
+/// hence keeps golden tests stable).
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[rng.index(i)]);
+  }
+}
+
+}  // namespace conga::sim

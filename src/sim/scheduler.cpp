@@ -1,0 +1,68 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace conga::sim {
+
+EventId Scheduler::schedule_at(TimeNs t, Callback cb) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  heap_.push(Event{t, id, std::move(cb)});
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) return;
+  cancelled_.insert(id);
+}
+
+bool Scheduler::pop_next(Event& out) {
+  while (!heap_.empty()) {
+    // Safe: we never mutate the key fields (time, id) through this reference,
+    // only move the callback out right before pop().
+    const Event& top = heap_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      heap_.pop();
+      continue;
+    }
+    out.time = top.time;
+    out.id = top.id;
+    out.cb = std::move(top.cb);
+    heap_.pop();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  stopped_ = false;
+  Event ev;
+  while (!stopped_ && pop_next(ev)) {
+    now_ = ev.time;
+    ++dispatched_;
+    ev.cb();
+  }
+}
+
+void Scheduler::run_until(TimeNs t) {
+  stopped_ = false;
+  Event ev;
+  while (!stopped_) {
+    if (heap_.empty()) break;
+    // Skip cancelled heads without dispatching.
+    if (cancelled_.contains(heap_.top().id)) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+      continue;
+    }
+    if (heap_.top().time > t) break;
+    if (!pop_next(ev)) break;
+    now_ = ev.time;
+    ++dispatched_;
+    ev.cb();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace conga::sim

@@ -1,0 +1,101 @@
+// Discrete-event scheduler: the heart of the simulator.
+//
+// Single-threaded and deterministic: events at equal timestamps fire in the
+// order they were scheduled (a monotone sequence number breaks ties), so a
+// run is exactly reproducible given the same seed.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/unique_function.hpp"
+
+namespace conga::sim {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+/// A discrete-event scheduler.
+///
+/// Usage:
+///   Scheduler sched;
+///   sched.schedule_after(microseconds(5), [] { ... });
+///   sched.run();
+///
+/// Components hold a `Scheduler&` and schedule callbacks; there is no global
+/// singleton, so multiple independent simulations can coexist (which the
+/// tests exploit heavily).
+///
+/// Cancellation is lazy: cancel() records the id and the event is skipped
+/// when popped. This keeps the hot path (schedule/pop) allocation-free apart
+/// from the std::function payload.
+class Scheduler {
+ public:
+  using Callback = UniqueFunction;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  TimeNs now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t`. Times in the past are clamped to
+  /// now() (the event still fires, after currently pending same-time events).
+  EventId schedule_at(TimeNs t, Callback cb);
+
+  /// Schedules `cb` after a relative delay `dt` (negative clamps to 0).
+  EventId schedule_after(TimeNs dt, Callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or invalid id is a
+  /// harmless no-op (this makes timer management in TCP much simpler).
+  void cancel(EventId id);
+
+  /// Runs until the event queue is empty or stop() is called.
+  void run();
+
+  /// Runs events with timestamp <= `t`, then sets now() to `t`.
+  void run_until(TimeNs t);
+
+  /// Stops a run() in progress after the current event returns.
+  void stop() { stopped_ = true; }
+
+  /// Number of events dispatched so far (useful for perf reporting).
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Number of events currently pending (excluding cancelled ones).
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    TimeNs time;
+    EventId id;
+    mutable Callback cb;  // moved out at dispatch; priority_queue top() is const
+  };
+  struct Later {
+    // std::priority_queue is a max-heap; invert to pop the earliest event,
+    // breaking equal-time ties by schedule order.
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  /// Pops the next non-cancelled event, or returns false if none remain.
+  bool pop_next(Event& out);
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace conga::sim

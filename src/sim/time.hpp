@@ -1,0 +1,32 @@
+// Simulated-time types and literals.
+//
+// All simulation time is kept as a signed 64-bit count of nanoseconds, which
+// gives ~292 years of range — far beyond any experiment — while staying cheap
+// to compare and add. Helper constructors make call sites read like the paper
+// ("Tfl = 500us", "tau = 160us").
+#pragma once
+
+#include <cstdint>
+
+namespace conga::sim {
+
+/// Simulated time in nanoseconds since the start of the run.
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kNsPerUs = 1'000;
+constexpr TimeNs kNsPerMs = 1'000'000;
+constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+constexpr TimeNs nanoseconds(std::int64_t n) { return n; }
+constexpr TimeNs microseconds(std::int64_t us) { return us * kNsPerUs; }
+constexpr TimeNs milliseconds(std::int64_t ms) { return ms * kNsPerMs; }
+constexpr TimeNs seconds(double s) {
+  return static_cast<TimeNs>(s * static_cast<double>(kNsPerSec));
+}
+
+/// Converts a simulated duration to (floating-point) seconds, e.g. for rates.
+constexpr double to_seconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+
+}  // namespace conga::sim

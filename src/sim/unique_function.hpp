@@ -1,0 +1,48 @@
+// Move-only type-erased callable (a minimal std::move_only_function for
+// C++20). Scheduler callbacks capture move-only payloads (packets as
+// unique_ptr), which std::function cannot hold; this keeps packet ownership
+// RAII-clean all the way through the event queue.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace conga::sim {
+
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction>>>
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor): callable wrapper
+      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  void operator()() { impl_->call(); }
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual void call() = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F&& f) : fn(std::move(f)) {}
+    explicit Impl(const F& f) : fn(f) {}
+    void call() override { fn(); }
+    F fn;
+  };
+
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace conga::sim

@@ -1,0 +1,57 @@
+#include "stats/fct_collector.hpp"
+
+#include <algorithm>
+
+namespace conga::stats {
+
+double FctCollector::avg_normalized_fct() const {
+  if (records_.empty()) return 0;
+  double s = 0;
+  for (const FlowRecord& r : records_) {
+    s += static_cast<double>(r.fct) /
+         static_cast<double>(std::max<sim::TimeNs>(r.optimal_fct, 1));
+  }
+  return s / static_cast<double>(records_.size());
+}
+
+double FctCollector::avg_fct_seconds(std::uint64_t lo, std::uint64_t hi) const {
+  double s = 0;
+  std::size_t n = 0;
+  for (const FlowRecord& r : records_) {
+    if (r.size_bytes >= lo && r.size_bytes < hi) {
+      s += sim::to_seconds(r.fct);
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : s / static_cast<double>(n);
+}
+
+double FctCollector::p99_normalized_fct() const {
+  if (records_.empty()) return 0;
+  Summary sum;
+  for (const FlowRecord& r : records_) {
+    sum.add(static_cast<double>(r.fct) /
+            static_cast<double>(std::max<sim::TimeNs>(r.optimal_fct, 1)));
+  }
+  return sum.percentile(99);
+}
+
+double FctCollector::median_normalized_fct() const {
+  if (records_.empty()) return 0;
+  Summary sum;
+  for (const FlowRecord& r : records_) {
+    sum.add(static_cast<double>(r.fct) /
+            static_cast<double>(std::max<sim::TimeNs>(r.optimal_fct, 1)));
+  }
+  return sum.median();
+}
+
+std::size_t FctCollector::count_in(std::uint64_t lo, std::uint64_t hi) const {
+  std::size_t n = 0;
+  for (const FlowRecord& r : records_) {
+    if (r.size_bytes >= lo && r.size_bytes < hi) ++n;
+  }
+  return n;
+}
+
+}  // namespace conga::stats

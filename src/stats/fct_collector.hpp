@@ -1,0 +1,62 @@
+// Flow-completion-time accounting, matching the paper's methodology (§5.2):
+//  * overall average FCT normalised to the *optimal* FCT achievable in an
+//    idle network (Figs 9a, 10a, 11a, 11b);
+//  * small-flow (< 100 KB) and large-flow (> 10 MB) breakdowns, reported
+//    relative to ECMP (Figs 9b/c, 10b/c).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/summary.hpp"
+
+namespace conga::stats {
+
+struct FlowRecord {
+  std::uint64_t size_bytes;
+  sim::TimeNs fct;
+  sim::TimeNs optimal_fct;
+};
+
+class FctCollector {
+ public:
+  static constexpr std::uint64_t kSmallFlowBytes = 100 * 1000;      // <100KB
+  static constexpr std::uint64_t kLargeFlowBytes = 10 * 1000 * 1000;  // >10MB
+
+  void record(std::uint64_t size_bytes, sim::TimeNs fct,
+              sim::TimeNs optimal_fct) {
+    records_.push_back({size_bytes, fct, optimal_fct});
+  }
+
+  std::size_t count() const { return records_.size(); }
+
+  /// Mean of FCT / optimal-FCT over all flows ("FCT (Norm. to Optimal)").
+  double avg_normalized_fct() const;
+
+  /// Mean raw FCT in seconds over flows in [lo, hi) bytes.
+  double avg_fct_seconds(std::uint64_t lo, std::uint64_t hi) const;
+
+  double avg_fct_small() const {
+    return avg_fct_seconds(0, kSmallFlowBytes);
+  }
+  double avg_fct_large() const {
+    return avg_fct_seconds(kLargeFlowBytes, UINT64_MAX);
+  }
+  double avg_fct_overall() const { return avg_fct_seconds(0, UINT64_MAX); }
+
+  /// 99th-percentile normalised FCT (tail behaviour).
+  double p99_normalized_fct() const;
+
+  /// Median normalised FCT (robust to RTO-tail outliers).
+  double median_normalized_fct() const;
+
+  std::size_t count_in(std::uint64_t lo, std::uint64_t hi) const;
+
+  const std::vector<FlowRecord>& records() const { return records_; }
+
+ private:
+  std::vector<FlowRecord> records_;
+};
+
+}  // namespace conga::stats

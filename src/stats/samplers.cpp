@@ -1,0 +1,69 @@
+#include "stats/samplers.hpp"
+
+#include <algorithm>
+
+namespace conga::stats {
+
+ThroughputImbalanceSampler::ThroughputImbalanceSampler(
+    sim::Scheduler& sched, std::vector<const net::Link*> links,
+    sim::TimeNs interval, sim::TimeNs start, sim::TimeNs end)
+    : sched_(sched), links_(std::move(links)), interval_(interval), end_(end) {
+  last_bytes_.resize(links_.size(), 0);
+  first_bytes_.resize(links_.size(), 0);
+  sched_.schedule_at(start, [this] {
+    window_start_ = sched_.now();
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      last_bytes_[i] = links_[i]->bytes_sent();
+      first_bytes_[i] = last_bytes_[i];
+    }
+    sched_.schedule_after(interval_, [this] { tick(); });
+  });
+}
+
+void ThroughputImbalanceSampler::tick() {
+  double mx = 0, mn = 0, avg = 0;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const std::uint64_t b = links_[i]->bytes_sent();
+    const double delta = static_cast<double>(b - last_bytes_[i]);
+    last_bytes_[i] = b;
+    if (i == 0) {
+      mx = mn = delta;
+    } else {
+      mx = std::max(mx, delta);
+      mn = std::min(mn, delta);
+    }
+    avg += delta;
+  }
+  avg /= static_cast<double>(links_.size());
+  if (avg > 0) imbalance_.add((mx - mn) / avg * 100.0);
+  if (sched_.now() + interval_ <= end_) {
+    sched_.schedule_after(interval_, [this] { tick(); });
+  }
+}
+
+std::vector<double> ThroughputImbalanceSampler::mean_throughput_bps() const {
+  std::vector<double> out;
+  const double elapsed = sim::to_seconds(sched_.now() - window_start_);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const double bytes =
+        static_cast<double>(links_[i]->bytes_sent() - first_bytes_[i]);
+    out.push_back(elapsed > 0 ? bytes * 8.0 / elapsed : 0.0);
+  }
+  return out;
+}
+
+QueueSampler::QueueSampler(sim::Scheduler& sched, const net::Link* link,
+                           sim::TimeNs interval, sim::TimeNs start,
+                           sim::TimeNs end)
+    : sched_(sched), link_(link), interval_(interval), end_(end) {
+  sched_.schedule_at(start, [this] { tick(); });
+}
+
+void QueueSampler::tick() {
+  occupancy_.add(static_cast<double>(link_->queue().bytes()));
+  if (sched_.now() + interval_ <= end_) {
+    sched_.schedule_after(interval_, [this] { tick(); });
+  }
+}
+
+}  // namespace conga::stats

@@ -1,0 +1,60 @@
+// Periodic samplers driving the paper's balance/queue metrics:
+//  * ThroughputImbalanceSampler — Fig 12: synchronous samples of per-uplink
+//    throughput over fixed intervals; records (MAX-MIN)/AVG per interval.
+//  * QueueSampler — Fig 11(c): periodic queue-occupancy samples of one port.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/summary.hpp"
+
+namespace conga::stats {
+
+class ThroughputImbalanceSampler {
+ public:
+  /// Samples the byte counters of `links` every `interval` during
+  /// [start, end); each interval contributes one imbalance sample in percent.
+  ThroughputImbalanceSampler(sim::Scheduler& sched,
+                             std::vector<const net::Link*> links,
+                             sim::TimeNs interval, sim::TimeNs start,
+                             sim::TimeNs end);
+
+  const Summary& imbalance_pct() const { return imbalance_; }
+  /// Per-link mean throughput (bits/s) over the whole window.
+  std::vector<double> mean_throughput_bps() const;
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  std::vector<const net::Link*> links_;
+  sim::TimeNs interval_;
+  sim::TimeNs end_;
+  sim::TimeNs window_start_ = 0;
+  std::vector<std::uint64_t> last_bytes_;
+  std::vector<std::uint64_t> first_bytes_;
+  Summary imbalance_;
+};
+
+class QueueSampler {
+ public:
+  QueueSampler(sim::Scheduler& sched, const net::Link* link,
+               sim::TimeNs interval, sim::TimeNs start, sim::TimeNs end);
+
+  /// Queue occupancy samples, bytes.
+  const Summary& occupancy_bytes() const { return occupancy_; }
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  const net::Link* link_;
+  sim::TimeNs interval_;
+  sim::TimeNs end_;
+  Summary occupancy_;
+};
+
+}  // namespace conga::stats

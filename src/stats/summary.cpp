@@ -1,0 +1,69 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conga::stats {
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0;
+  double s = 0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0;
+  const double m = mean();
+  double s = 0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size()));
+}
+
+double Summary::min() const {
+  return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+double Summary::cdf_at(double x) const {
+  if (samples_.empty()) return 0;
+  std::size_t n = 0;
+  for (double s : samples_) {
+    if (s <= x) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Summary::cdf_points(int n) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || n < 2) return out;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double q = static_cast<double>(i) / (n - 1);
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    out.emplace_back(sorted[idx],
+                     static_cast<double>(idx + 1) /
+                         static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+}  // namespace conga::stats

@@ -1,0 +1,38 @@
+// Summary statistics helpers: mean, percentiles, CDF extraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace conga::stats {
+
+/// Accumulates samples; percentile queries sort a copy on demand.
+class Summary {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// p in [0, 100]; linear interpolation between order statistics.
+  double percentile(double p) const;
+  double median() const { return percentile(50); }
+
+  /// Evaluates the empirical CDF at `x` (fraction of samples <= x).
+  double cdf_at(double x) const;
+
+  /// Returns `n` evenly spaced (value, cdf) pairs spanning the sample range,
+  /// for printing CDF curves (Figs 11c, 12).
+  std::vector<std::pair<double, double>> cdf_points(int n) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace conga::stats

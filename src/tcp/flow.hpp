@@ -1,0 +1,79 @@
+// Flow abstraction: one application-level transfer over some transport.
+//
+// Workload generators create flows through a FlowFactory, so the same
+// workload runs unchanged over TCP or MPTCP (the paper's transport dimension)
+// while the fabric's load balancer is varied independently.
+//
+// Lifetime rule: the completion callback fires from within packet processing;
+// do not destroy the flow inside it — defer deletion (schedule_after(0)), as
+// TrafficGenerator does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/host.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/tcp_config.hpp"
+#include "tcp/tcp_connection.hpp"
+#include "tcp/tcp_sink.hpp"
+
+namespace conga::tcp {
+
+class FlowHandle {
+ public:
+  FlowHandle(std::uint64_t size, sim::TimeNs start)
+      : size_(size), start_time_(start) {}
+  virtual ~FlowHandle() = default;
+
+  /// Begins transmission. Must be called exactly once.
+  virtual void start() = 0;
+
+  std::uint64_t size() const { return size_; }
+  sim::TimeNs start_time() const { return start_time_; }
+  bool complete() const { return completion_time_ >= 0; }
+  sim::TimeNs completion_time() const { return completion_time_; }
+  sim::TimeNs fct() const { return completion_time_ - start_time_; }
+
+ protected:
+  void mark_complete(sim::TimeNs t) { completion_time_ = t; }
+
+ private:
+  std::uint64_t size_;
+  sim::TimeNs start_time_;
+  sim::TimeNs completion_time_ = -1;
+};
+
+using FlowCompleteFn = std::function<void(FlowHandle&)>;
+
+/// Creates an un-started flow of `size` payload bytes from src to dst with
+/// wire identity `key`. Completion == last payload byte delivered in order
+/// at the receiver.
+using FlowFactory = std::function<std::unique_ptr<FlowHandle>(
+    sim::Scheduler& sched, net::Host& src, net::Host& dst,
+    const net::FlowKey& key, std::uint64_t size, FlowCompleteFn on_complete)>;
+
+/// A plain TCP transfer: one sender at src, one sink at dst.
+class TcpFlow final : public FlowHandle {
+ public:
+  TcpFlow(sim::Scheduler& sched, net::Host& src, net::Host& dst,
+          const net::FlowKey& key, std::uint64_t size, const TcpConfig& cfg,
+          FlowCompleteFn on_complete);
+
+  void start() override;
+
+  const TcpSender& sender() const { return sender_; }
+  const TcpSink& sink() const { return sink_; }
+
+ private:
+  sim::Scheduler& sched_;
+  FixedSource source_;
+  TcpSender sender_;
+  TcpSink sink_;
+  FlowCompleteFn on_complete_;
+};
+
+FlowFactory make_tcp_flow_factory(const TcpConfig& cfg);
+
+}  // namespace conga::tcp

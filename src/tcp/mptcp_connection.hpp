@@ -1,0 +1,94 @@
+// MPTCP: multipath TCP with coupled congestion control (RFC 6356 "LIA"),
+// the paper's host-based baseline (§2.3, §5).
+//
+// The connection opens `num_subflows` subflows (8 in the paper, following
+// Raiciu et al.), each with its own 5-tuple — source ports base..base+n-1 —
+// so ECMP hashing spreads them over distinct fabric paths. Payload is
+// allocated to subflows chunk-by-chunk at transmission time from a shared
+// allocator (pull scheduling: whichever subflow has window space takes the
+// next bytes).
+//
+// Coupled increase: in congestion avoidance, an ACK of b bytes on subflow i
+// grows cwnd_i by min(alpha * b * mss / cwnd_total, b * mss / cwnd_i), with
+//   alpha = cwnd_total * max_i(cwnd_i / rtt_i^2) / (sum_i cwnd_i / rtt_i)^2.
+// Slow start and loss recovery are per-subflow, as in the Linux
+// implementation. There is no opportunistic reinjection: a subflow that
+// stalls in timeout holds its allocated bytes until its own RTO recovers
+// them — the brittleness under Incast the paper measures (Fig 13) emerges
+// from exactly this behaviour plus the small per-subflow windows.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tcp/flow.hpp"
+
+namespace conga::tcp {
+
+struct MptcpConfig {
+  TcpConfig tcp;
+  int num_subflows = 8;
+};
+
+class MptcpFlow final : public FlowHandle {
+ public:
+  MptcpFlow(sim::Scheduler& sched, net::Host& src, net::Host& dst,
+            const net::FlowKey& base_key, std::uint64_t size,
+            const MptcpConfig& cfg, FlowCompleteFn on_complete);
+
+  void start() override;
+
+  /// Sum of subflow congestion windows, bytes.
+  double total_cwnd() const;
+  /// The current LIA coupling factor.
+  double alpha() const { return alpha_; }
+  int num_subflows() const { return static_cast<int>(subflows_.size()); }
+  const TcpSender& subflow(int i) const { return *subflows_[static_cast<std::size_t>(i)]; }
+
+ private:
+  /// Shared payload allocator over all subflows.
+  class SharedSource final : public ChunkSource {
+   public:
+    explicit SharedSource(std::uint64_t total) : remaining_(total) {}
+    std::uint32_t grab(std::uint32_t max_bytes) override {
+      const auto n = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(max_bytes, remaining_));
+      remaining_ -= n;
+      return n;
+    }
+    bool exhausted() const override { return remaining_ == 0; }
+
+   private:
+    std::uint64_t remaining_;
+  };
+
+  class Subflow final : public TcpSender {
+   public:
+    Subflow(MptcpFlow& conn, sim::Scheduler& sched, net::Host& local,
+            const net::FlowKey& key, ChunkSource& src, const TcpConfig& cfg)
+        : TcpSender(sched, local, key, src, cfg), conn_(conn) {}
+
+   protected:
+    void ca_increase(std::uint64_t bytes_acked) override;
+    void on_loss_event() override { conn_.recompute_alpha(); }
+
+   private:
+    MptcpFlow& conn_;
+  };
+
+  void recompute_alpha();
+  void on_subflow_data(std::uint64_t delta);
+
+  sim::Scheduler& sched_;
+  SharedSource source_;
+  double alpha_ = 1.0;
+  std::uint64_t delivered_ = 0;
+  std::vector<std::unique_ptr<Subflow>> subflows_;
+  std::vector<std::unique_ptr<TcpSink>> sinks_;
+  FlowCompleteFn on_complete_;
+};
+
+FlowFactory make_mptcp_flow_factory(const MptcpConfig& cfg);
+
+}  // namespace conga::tcp

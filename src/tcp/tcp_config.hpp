@@ -1,0 +1,57 @@
+// TCP parameters shared by senders, sinks and MPTCP subflows.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace conga::tcp {
+
+struct TcpConfig {
+  std::uint32_t mtu = 1500;           ///< bytes incl. IP+TCP headers
+  std::uint32_t init_cwnd_pkts = 10;  ///< IW10, the modern Linux default
+  std::uint64_t max_cwnd_bytes = 4 * 1024 * 1024;  ///< receive-window cap
+
+  /// Minimum retransmission timeout. The paper evaluates 200 ms (the Linux
+  /// default) and 1 ms (Vasudevan et al.'s Incast remedy) in Fig 13.
+  sim::TimeNs min_rto = sim::milliseconds(200);
+  sim::TimeNs max_rto = sim::seconds(60.0);
+
+  /// ACK every n-th in-order segment (1 = every segment; 2 = delayed ACKs).
+  int ack_every = 1;
+
+  /// Selective acknowledgments (RFC 2018) with FACK-style loss recovery —
+  /// what Linux TCP (the paper's testbed stack) does. Disable for the
+  /// plain-NewReno ablation.
+  bool sack = true;
+
+  /// Loss-inference threshold in segments (the classic dupack threshold /
+  /// FACK gap). Raising it makes TCP reordering-resilient at the cost of
+  /// slower loss detection — what Fig 1's "per packet ... optimal, needs
+  /// reordering-resilient TCP" branch assumes.
+  int dupack_segments = 3;
+
+  /// Tail Loss Probe: if the last packets of a flight die, probe after
+  /// ~2 SRTT instead of waiting a full (min)RTO — present in the Linux
+  /// kernels of the paper's era and essential for request/response traffic
+  /// with the default 200 ms minRTO (Incast rounds, small flows).
+  bool tlp = true;
+
+  /// DCTCP congestion control (Alizadeh et al., SIGCOMM 2010): scale cwnd by
+  /// the fraction of ECN-marked bytes once per window. Needs ECN marking in
+  /// the fabric (TopologyConfig::ecn_threshold_bytes). An extension beyond
+  /// the paper's testbed TCP, for the CONGA+DCTCP ablation.
+  bool dctcp = false;
+  double dctcp_g = 1.0 / 16;  ///< EWMA gain for the marked fraction
+
+  std::uint32_t mss() const { return mtu - 40; }
+
+  /// Timer granularity for the RTO calculation: fine-grained timers come
+  /// along with a small minRTO (RFC 6298's G term).
+  sim::TimeNs rto_granularity() const {
+    return std::min<sim::TimeNs>(sim::milliseconds(1), min_rto / 4);
+  }
+};
+
+}  // namespace conga::tcp

@@ -1,0 +1,171 @@
+// TCP sender: NewReno congestion control over the simulated fabric.
+//
+// Implements the loss-recovery machinery the paper's results depend on:
+//  * slow start and AIMD congestion avoidance (byte-counting),
+//  * fast retransmit on 3 duplicate ACKs, NewReno fast recovery with
+//    partial-ACK retransmission and window inflation/deflation,
+//  * RFC 6298 RTO estimation (SRTT/RTTVAR from timestamp echoes) with
+//    exponential backoff and a configurable minRTO,
+//  * go-back-N after a timeout.
+//
+// There is no SYN handshake: flows start sending data immediately, the usual
+// simulator idealisation (connection setup is not load-balancing-relevant).
+// Payload bytes are modelled as counts; sequence numbers are flow offsets.
+//
+// The class is also the base for MPTCP subflows, which override the
+// congestion-avoidance increase (ca_increase) with the coupled LIA rule and
+// share a data allocator through the ChunkSource interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/host.hpp"
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/tcp_config.hpp"
+
+namespace conga::tcp {
+
+/// Source of payload bytes for a sender. Plain TCP uses a fixed budget;
+/// MPTCP subflows pull chunks from a connection-level allocator at send time.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+  /// Grants up to `max_bytes` of new payload; 0 means exhausted *for now*
+  /// (a later call may still return bytes only if exhausted() is false).
+  virtual std::uint32_t grab(std::uint32_t max_bytes) = 0;
+  /// True once no further bytes will ever be granted.
+  virtual bool exhausted() const = 0;
+};
+
+/// Fixed-size source for plain TCP flows.
+class FixedSource final : public ChunkSource {
+ public:
+  explicit FixedSource(std::uint64_t total) : remaining_(total) {}
+  std::uint32_t grab(std::uint32_t max_bytes) override {
+    const std::uint32_t n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(max_bytes, remaining_));
+    remaining_ -= n;
+    return n;
+  }
+  bool exhausted() const override { return remaining_ == 0; }
+
+ private:
+  std::uint64_t remaining_;
+};
+
+class TcpSender {
+ public:
+  /// `source` must outlive the sender. `on_done` fires when every sent byte
+  /// has been cumulatively ACKed and the source is exhausted.
+  TcpSender(sim::Scheduler& sched, net::Host& local, const net::FlowKey& flow,
+            ChunkSource& source, const TcpConfig& cfg,
+            std::function<void()> on_done = {});
+  virtual ~TcpSender();
+
+  TcpSender(const TcpSender&) = delete;
+  TcpSender& operator=(const TcpSender&) = delete;
+
+  /// Registers with the host and sends the initial window.
+  void start();
+
+  /// Entry point for incoming (ACK) packets, wired via Host::register_flow.
+  void on_packet(net::PacketPtr pkt);
+
+  /// Nudges the sender to (re)fill the window — used by MPTCP when the
+  /// shared allocator gains headroom and after subflow events.
+  void pump();
+
+  bool done() const { return done_; }
+  double cwnd_bytes() const { return cwnd_; }
+  std::uint64_t bytes_acked() const { return snd_una_; }
+  std::uint64_t bytes_sent_total() const { return bytes_sent_total_; }
+  std::uint32_t retransmits() const { return retransmits_; }
+  std::uint32_t timeouts() const { return timeouts_; }
+  double dctcp_alpha() const { return dctcp_alpha_; }
+  sim::TimeNs srtt() const { return srtt_; }
+  const net::FlowKey& flow() const { return flow_; }
+  const TcpConfig& config() const { return cfg_; }
+
+ protected:
+  /// Congestion-avoidance increase per ACK of `bytes_acked` — Reno by
+  /// default; MPTCP's LIA overrides this.
+  virtual void ca_increase(std::uint64_t bytes_acked);
+
+  /// Invoked on every loss event (fast retransmit or RTO), after the window
+  /// reduction — lets MPTCP recompute its coupling factor.
+  virtual void on_loss_event() {}
+
+  std::uint32_t mss() const { return cfg_.mss(); }
+
+  double cwnd_ = 0;  ///< congestion window, bytes (fractional for smooth CA)
+
+ private:
+  void send_available();
+  void emit_segment(std::uint64_t seq, std::uint32_t len);
+  void handle_ack(const net::TcpHeader& hdr, bool ecn_echo);
+  void enter_recovery();
+  // SACK/FACK machinery (cfg.sack == true).
+  void apply_sack(const net::TcpHeader& hdr);
+  void enter_sack_recovery();
+  std::uint64_t sacked_bytes_in(std::uint64_t from, std::uint64_t to) const;
+  /// First unsacked gap in [from, limit); false if none.
+  bool find_unsacked_gap(std::uint64_t from, std::uint64_t limit,
+                         std::uint64_t* gap_start,
+                         std::uint64_t* gap_len) const;
+  /// Estimated bytes in flight, accounting for SACKed and presumed-lost data.
+  double pipe_bytes() const;
+  void on_rto();
+  void arm_rto();
+  void update_rtt(sim::TimeNs sample);
+  void maybe_finish();
+  std::uint64_t flight() const { return snd_nxt_ - snd_una_; }
+
+  sim::Scheduler& sched_;
+  net::Host& local_;
+  net::FlowKey flow_;
+  ChunkSource& source_;
+  TcpConfig cfg_;
+  std::function<void()> on_done_;
+
+  std::uint64_t snd_una_ = 0;  ///< lowest unacked byte
+  std::uint64_t snd_nxt_ = 0;  ///< next byte to send
+  std::uint64_t snd_max_ = 0;  ///< highest byte ever sent (== allocated)
+  double ssthresh_;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;   ///< NewReno recovery (cfg.sack == false)
+  std::uint64_t recover_ = 0;  ///< recovery point (both modes)
+
+  // DCTCP state (cfg.dctcp == true).
+  void dctcp_on_ack(std::uint64_t bytes_acked, bool ece);
+  double dctcp_alpha_ = 0;
+  std::uint64_t dctcp_window_end_ = 0;
+  std::uint64_t dctcp_acked_ = 0;
+  std::uint64_t dctcp_marked_ = 0;
+
+  // SACK scoreboard: merged received-above-cumulative ranges [start, end).
+  std::map<std::uint64_t, std::uint64_t> sacked_;
+  std::uint64_t fack_ = 0;      ///< forward-most SACKed byte
+  std::uint64_t rtx_next_ = 0;  ///< retransmission scan pointer (per epoch)
+  bool sack_recovery_ = false;
+
+  // RTO state (RFC 6298) and Tail Loss Probe.
+  sim::TimeNs srtt_ = 0;
+  sim::TimeNs rttvar_ = 0;
+  sim::TimeNs rto_;
+  int backoff_ = 0;
+  sim::EventId rto_timer_ = sim::kInvalidEventId;
+  bool timer_is_tlp_ = false;  ///< pending timer is a probe, not an RTO
+  bool tlp_done_ = false;      ///< one probe per flight
+  void on_tlp();
+
+  bool started_ = false;
+  bool done_ = false;
+  std::uint64_t bytes_sent_total_ = 0;
+  std::uint32_t retransmits_ = 0;
+  std::uint32_t timeouts_ = 0;
+};
+
+}  // namespace conga::tcp

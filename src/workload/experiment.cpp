@@ -1,0 +1,43 @@
+#include "workload/experiment.hpp"
+
+namespace conga::workload {
+
+ExperimentResult run_fct_experiment(const ExperimentConfig& cfg) {
+  sim::Scheduler sched;
+  net::Fabric fabric(sched, cfg.topo, cfg.fabric_seed);
+  fabric.install_lb(cfg.lb);
+
+  TrafficGenConfig gen_cfg;
+  gen_cfg.load = cfg.load;
+  gen_cfg.stop = cfg.warmup + cfg.measure;
+  gen_cfg.measure_start = cfg.warmup;
+  gen_cfg.measure_stop = cfg.warmup + cfg.measure;
+  gen_cfg.seed = cfg.traffic_seed;
+
+  tcp::FlowFactory transport =
+      cfg.transport ? cfg.transport : tcp::make_tcp_flow_factory({});
+  TrafficGenerator gen(fabric, transport, cfg.dist, gen_cfg);
+  gen.start();
+
+  ExperimentResult r;
+  r.drained = run_with_drain(sched, gen, gen_cfg.stop, cfg.max_drain);
+
+  const stats::FctCollector& c = gen.collector();
+  r.avg_norm_fct = c.avg_normalized_fct();
+  r.median_norm_fct = c.median_normalized_fct();
+  r.p99_norm_fct = c.p99_normalized_fct();
+  r.avg_fct_small = c.avg_fct_small();
+  r.avg_fct_large = c.avg_fct_large();
+  r.avg_fct_overall = c.avg_fct_overall();
+  r.flows = c.count();
+  r.small_flows = c.count_in(0, stats::FctCollector::kSmallFlowBytes);
+  r.large_flows = c.count_in(stats::FctCollector::kLargeFlowBytes, UINT64_MAX);
+  r.completed_fraction =
+      gen.measured_started() == 0
+          ? 1.0
+          : static_cast<double>(gen.measured_completed()) /
+                static_cast<double>(gen.measured_started());
+  return r;
+}
+
+}  // namespace conga::workload

@@ -1,0 +1,48 @@
+// Reusable FCT-experiment harness: one (topology, workload, load, scheme,
+// transport) cell of the paper's evaluation grid, with warmup, a measurement
+// window, and a bounded drain. Used by the fig09/10/11/15 benches, the
+// ablation bench, and the examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/fabric.hpp"
+#include "stats/fct_collector.hpp"
+#include "tcp/flow.hpp"
+#include "workload/flow_size_dist.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace conga::workload {
+
+struct ExperimentConfig {
+  net::TopologyConfig topo;
+  FlowSizeDist dist = fixed_size(100'000);
+  double load = 0.6;
+  tcp::FlowFactory transport;  ///< defaults to plain TCP if empty
+  net::Fabric::LbFactory lb;   ///< required
+  sim::TimeNs warmup = sim::milliseconds(10);
+  sim::TimeNs measure = sim::milliseconds(40);
+  sim::TimeNs max_drain = sim::seconds(1.0);
+  std::uint64_t fabric_seed = 1;
+  std::uint64_t traffic_seed = 7;
+};
+
+struct ExperimentResult {
+  double avg_norm_fct = 0;    ///< overall mean FCT / optimal
+  double median_norm_fct = 0; ///< tail-robust companion to the mean
+  double p99_norm_fct = 0;
+  double avg_fct_small = 0;   ///< seconds, flows < 100 KB
+  double avg_fct_large = 0;   ///< seconds, flows > 10 MB
+  double avg_fct_overall = 0; ///< seconds
+  std::size_t flows = 0;
+  std::size_t small_flows = 0;
+  std::size_t large_flows = 0;
+  double completed_fraction = 0;  ///< measured flows that finished in time
+  bool drained = false;           ///< all measured flows completed
+};
+
+/// Runs one experiment cell to completion and summarizes it.
+ExperimentResult run_fct_experiment(const ExperimentConfig& cfg);
+
+}  // namespace conga::workload

@@ -1,0 +1,155 @@
+// Cross-validation between the independent analysis components: the LP
+// solver, the max-flow solver, the best-response dynamics, and the packet
+// simulator must agree wherever their domains overlap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bottleneck_game.hpp"
+#include "analysis/maxflow.hpp"
+#include "analysis/simplex.hpp"
+#include "sim/random.hpp"
+
+namespace conga::analysis {
+namespace {
+
+/// Single-user bottleneck games reduce to a max-flow question: the demand is
+/// routable with bottleneck B iff maxflow(capacities scaled by B) >= demand.
+TEST(CrossCheck, SingleUserLpMatchesMaxFlowBisection) {
+  sim::Rng rng(99);
+  for (int inst = 0; inst < 25; ++inst) {
+    const int spines = 2 + static_cast<int>(rng.index(4));
+    LeafSpineGame g = LeafSpineGame::uniform(2, spines, 0);
+    for (int s = 0; s < spines; ++s) {
+      g.up[0][static_cast<std::size_t>(s)] = 5 + rng.uniform() * 50;
+      g.down[static_cast<std::size_t>(s)][1] = 5 + rng.uniform() * 50;
+    }
+    const double demand = 5 + rng.uniform() * 80;
+    g.users.push_back({0, 1, demand});
+
+    const double lp = optimal_bottleneck(g);
+
+    // Bisection on B with max-flow feasibility.
+    auto feasible = [&](double b) {
+      MaxFlow mf(2 + spines);
+      for (int s = 0; s < spines; ++s) {
+        mf.add_edge(0, 2 + s, g.up[0][static_cast<std::size_t>(s)] * b);
+        mf.add_edge(2 + s, 1, g.down[static_cast<std::size_t>(s)][1] * b);
+      }
+      return mf.solve(0, 1) >= demand - 1e-7;
+    };
+    double lo = 0, hi = 100;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = (lo + hi) / 2;
+      (feasible(mid) ? hi : lo) = mid;
+    }
+    EXPECT_NEAR(lp, hi, 1e-4) << "instance " << inst;
+  }
+}
+
+/// The LP optimum must lower-bound every Nash equilibrium's bottleneck.
+TEST(CrossCheck, OptimumLowerBoundsEveryEquilibrium) {
+  sim::Rng rng(123);
+  for (int inst = 0; inst < 20; ++inst) {
+    LeafSpineGame g = LeafSpineGame::uniform(3, 3, 0);
+    for (int l = 0; l < 3; ++l) {
+      for (int s = 0; s < 3; ++s) {
+        g.up[static_cast<std::size_t>(l)][static_cast<std::size_t>(s)] =
+            10 + rng.uniform() * 40;
+        g.down[static_cast<std::size_t>(s)][static_cast<std::size_t>(l)] =
+            10 + rng.uniform() * 40;
+      }
+    }
+    g.users.push_back({0, 1, 10 + rng.uniform() * 20});
+    g.users.push_back({0, 2, 10 + rng.uniform() * 20});
+    g.users.push_back({1, 2, 10 + rng.uniform() * 20});
+    const double opt = optimal_bottleneck(g);
+    for (int start = 0; start < 5; ++start) {
+      GameFlow f = random_flow(g, rng);
+      best_response_dynamics(g, f);
+      EXPECT_GE(network_bottleneck(g, f), opt - 1e-6);
+    }
+  }
+}
+
+/// Best response must never leave a user worse off, and must be a no-op at
+/// its own fixed point.
+TEST(CrossCheck, BestResponseIsImprovingAndIdempotent) {
+  sim::Rng rng(7);
+  LeafSpineGame g = LeafSpineGame::uniform(3, 3, 25);
+  g.users.push_back({0, 2, 30});
+  g.users.push_back({1, 2, 30});
+  for (int trial = 0; trial < 10; ++trial) {
+    GameFlow f = random_flow(g, rng);
+    for (int u = 0; u < 2; ++u) {
+      const double before = user_bottleneck(g, f, u);
+      const double after = best_response(g, f, u);
+      EXPECT_LE(after, before + 1e-9);
+      // Idempotence: responding again cannot improve further.
+      const double again = best_response(g, f, u);
+      EXPECT_NEAR(after, again, 1e-6);
+    }
+  }
+}
+
+/// Flow conservation: every user's strategy sums to its demand after any
+/// best-response step.
+TEST(CrossCheck, BestResponseConservesDemand) {
+  sim::Rng rng(11);
+  LeafSpineGame g = LeafSpineGame::uniform(2, 4, 20);
+  g.users.push_back({0, 1, 35});
+  g.users.push_back({0, 1, 10});
+  GameFlow f = random_flow(g, rng);
+  for (int round = 0; round < 5; ++round) {
+    for (int u = 0; u < 2; ++u) best_response(g, f, u);
+  }
+  for (std::size_t u = 0; u < 2; ++u) {
+    double total = 0;
+    for (double x : f.x[u]) total += x;
+    EXPECT_NEAR(total, g.users[u].demand, 1e-6);
+  }
+}
+
+/// The simplex solver agrees with hand-solvable LPs under permutations of
+/// constraint order (exercises pivoting robustness).
+TEST(CrossCheck, SimplexStableUnderConstraintPermutations) {
+  // max 3x + 2y st x+y <= 4, x <= 2, y <= 3  -> optimum 10 at (2, 2).
+  const std::vector<std::vector<double>> rows = {{1, 1}, {1, 0}, {0, 1}};
+  const std::vector<double> rhs = {4, 2, 3};
+  const int order[][3] = {{0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {2, 0, 1}};
+  for (const auto& ord : order) {
+    std::vector<std::vector<double>> A;
+    std::vector<double> b;
+    for (int i : ord) {
+      A.push_back(rows[static_cast<std::size_t>(i)]);
+      b.push_back(rhs[static_cast<std::size_t>(i)]);
+    }
+    std::vector<double> x;
+    Simplex lp(A, b, {3, 2});
+    EXPECT_NEAR(lp.solve(x), 10.0, 1e-9);
+    EXPECT_NEAR(x[0], 2.0, 1e-9);
+    EXPECT_NEAR(x[1], 2.0, 1e-9);
+  }
+}
+
+/// Max-flow conservation: assigned edge flows form a valid flow.
+TEST(CrossCheck, MaxFlowEdgeFlowsConserve) {
+  MaxFlow mf(5);
+  mf.add_edge(0, 1, 7);   // 0
+  mf.add_edge(0, 2, 5);   // 1
+  mf.add_edge(1, 3, 4);   // 2
+  mf.add_edge(2, 3, 6);   // 3
+  mf.add_edge(1, 2, 3);   // 4
+  mf.add_edge(3, 4, 12);  // 5
+  const double total = mf.solve(0, 4);
+  EXPECT_NEAR(total, 10.0, 1e-9);  // min cut {1->3 (4), 2->3 (6)}
+  // Node 1: in = edge0, out = edge2 + edge4.
+  EXPECT_NEAR(mf.edge_flow(0), mf.edge_flow(2) + mf.edge_flow(4), 1e-9);
+  // Node 2: in = edge1 + edge4, out = edge3.
+  EXPECT_NEAR(mf.edge_flow(1) + mf.edge_flow(4), mf.edge_flow(3), 1e-9);
+  // Sink receives everything.
+  EXPECT_NEAR(mf.edge_flow(5), total, 1e-9);
+}
+
+}  // namespace
+}  // namespace conga::analysis

@@ -1,0 +1,315 @@
+// Tests for max-flow, the LP solver, the bottleneck routing game (§6.1),
+// and the Theorem 2 imbalance model (§6.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bottleneck_game.hpp"
+#include "analysis/imbalance_model.hpp"
+#include "analysis/maxflow.hpp"
+#include "analysis/simplex.hpp"
+#include "workload/flow_size_dist.hpp"
+
+namespace conga::analysis {
+namespace {
+
+TEST(MaxFlow, SimplePath) {
+  MaxFlow mf(3);
+  mf.add_edge(0, 1, 5);
+  mf.add_edge(1, 2, 3);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 2), 3.0);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 4);
+  mf.add_edge(1, 3, 4);
+  mf.add_edge(0, 2, 6);
+  mf.add_edge(2, 3, 2);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 6.0);
+}
+
+TEST(MaxFlow, ClassicDiamond) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 10);
+  mf.add_edge(0, 2, 10);
+  mf.add_edge(1, 2, 1);
+  mf.add_edge(1, 3, 5);
+  mf.add_edge(2, 3, 10);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 15.0);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 5);
+  mf.add_edge(2, 3, 5);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 0.0);
+}
+
+TEST(MaxFlow, EdgeFlowsAreConsistent) {
+  MaxFlow mf(3);
+  mf.add_edge(0, 1, 5);  // edge 0
+  mf.add_edge(1, 2, 3);  // edge 1
+  mf.solve(0, 2);
+  EXPECT_DOUBLE_EQ(mf.edge_flow(1), 3.0);
+  EXPECT_DOUBLE_EQ(mf.edge_flow(0), 3.0);
+}
+
+TEST(MaxFlow, ResetRestoresCapacity) {
+  MaxFlow mf(2);
+  mf.add_edge(0, 1, 7);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 1), 7.0);
+  mf.reset();
+  EXPECT_DOUBLE_EQ(mf.solve(0, 1), 7.0);
+}
+
+TEST(MaxFlow, Fig2AsymmetricCapacity) {
+  // Fig 2: L0 -> {S0, S1} -> L1, links 80/80/80/40. Max L0->L1 throughput
+  // is 80 + 40 = 120 if the leaf uplinks were unconstrained... with uplinks
+  // at 80 each: min cut = 80 + 40 = 120.
+  MaxFlow mf(4);  // 0=L0, 1=S0, 2=S1, 3=L1
+  mf.add_edge(0, 1, 80);
+  mf.add_edge(0, 2, 80);
+  mf.add_edge(1, 3, 80);
+  mf.add_edge(2, 3, 40);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 120.0);
+}
+
+// --- simplex ---
+
+TEST(Simplex, Simple2D) {
+  // max x + y  s.t. x <= 3, y <= 4, x + y <= 5
+  std::vector<std::vector<double>> A{{1, 0}, {0, 1}, {1, 1}};
+  std::vector<double> b{3, 4, 5};
+  std::vector<double> c{1, 1};
+  std::vector<double> x;
+  Simplex lp(A, b, c);
+  EXPECT_NEAR(lp.solve(x), 5.0, 1e-9);
+  EXPECT_NEAR(x[0] + x[1], 5.0, 1e-9);
+}
+
+TEST(Simplex, UnboundedReturnsInfinity) {
+  std::vector<std::vector<double>> A{{-1, 0}};
+  std::vector<double> b{0};
+  std::vector<double> c{1, 1};
+  std::vector<double> x;
+  Simplex lp(A, b, c);
+  EXPECT_TRUE(std::isinf(lp.solve(x)));
+}
+
+TEST(Simplex, InfeasibleReturnsMinusInfinity) {
+  // x <= -1 with x >= 0 is infeasible.
+  std::vector<std::vector<double>> A{{1}};
+  std::vector<double> b{-1};
+  std::vector<double> c{1};
+  std::vector<double> x;
+  Simplex lp(A, b, c);
+  EXPECT_EQ(lp.solve(x), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Simplex, EqualityViaTwoInequalities) {
+  // max y  s.t. x + y = 2 (as <= and >=), y <= 1.5
+  std::vector<std::vector<double>> A{{1, 1}, {-1, -1}, {0, 1}};
+  std::vector<double> b{2, -2, 1.5};
+  std::vector<double> c{0, 1};
+  std::vector<double> x;
+  Simplex lp(A, b, c);
+  EXPECT_NEAR(lp.solve(x), 1.5, 1e-9);
+  EXPECT_NEAR(x[0], 0.5, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemStillSolves) {
+  // Several redundant constraints.
+  std::vector<std::vector<double>> A{{1, 0}, {1, 0}, {1, 0}, {0, 1}};
+  std::vector<double> b{2, 2, 2, 3};
+  std::vector<double> c{1, 2};
+  std::vector<double> x;
+  Simplex lp(A, b, c);
+  EXPECT_NEAR(lp.solve(x), 8.0, 1e-9);
+}
+
+// --- bottleneck game ---
+
+LeafSpineGame fig2_game() {
+  // Fig 2: L0 -> L1 demand 100, links 80 except (S1,L1) = 40.
+  LeafSpineGame g = LeafSpineGame::uniform(2, 2, 80);
+  g.down[1][1] = 40;
+  g.users.push_back({0, 1, 100});
+  return g;
+}
+
+TEST(Game, OptimalBottleneckFig2) {
+  // Optimal: 66.6 up / 33.3 down — utilization 66.6/80 = 0.833.
+  LeafSpineGame g = fig2_game();
+  GameFlow opt;
+  const double b = optimal_bottleneck(g, &opt);
+  EXPECT_NEAR(b, 100.0 / 120.0, 1e-6);
+  EXPECT_NEAR(opt.x[0][0], 100.0 * 80 / 120, 1e-4);
+  EXPECT_NEAR(opt.x[0][1], 100.0 * 40 / 120, 1e-4);
+}
+
+TEST(Game, BestResponseFindsFig2Split) {
+  LeafSpineGame g = fig2_game();
+  GameFlow f = GameFlow::zeros(g);
+  f.x[0] = {50, 50};  // the ECMP-style even split
+  best_response(g, f, 0);
+  EXPECT_NEAR(f.x[0][0], 66.67, 0.5);
+  EXPECT_NEAR(f.x[0][1], 33.33, 0.5);
+}
+
+TEST(Game, SingleUserNashIsOptimal) {
+  LeafSpineGame g = fig2_game();
+  GameFlow f = GameFlow::zeros(g);
+  f.x[0] = {100, 0};
+  best_response_dynamics(g, f);
+  EXPECT_TRUE(is_nash(g, f));
+  EXPECT_NEAR(anarchy_ratio(g, f), 1.0, 1e-3);
+}
+
+TEST(Game, Fig3TrafficMatrixDependence) {
+  // Fig 3: 3 leaves, 2 spines, all 40G links. (a) only L1->L2 80G: best
+  // split is 40/40. (b) plus L0->L2 40G via S0 only (its S1 uplink absent):
+  // L1->L2 must shift to avoid S0's downlink to L2.
+  LeafSpineGame g = LeafSpineGame::uniform(3, 2, 40);
+  g.up[0][1] = 0;  // L0 has no uplink to S1 (the asymmetry)
+  g.users.push_back({1, 2, 80});  // L1 -> L2
+
+  GameFlow f = GameFlow::zeros(g);
+  f.x[0] = {80, 0};
+  best_response_dynamics(g, f);
+  EXPECT_NEAR(f.x[0][0], 40, 1.0);
+  EXPECT_NEAR(f.x[0][1], 40, 1.0);
+
+  g.users.push_back({0, 2, 40});  // now L0 -> L2 appears (S0 only)
+  GameFlow f2 = GameFlow::zeros(g);
+  f2.x = {{40, 40}, {40, 0}};
+  best_response_dynamics(g, f2);
+  // The optimal split: L0's 40 all via S0, L1->L2 mostly via S1.
+  const double b_opt = optimal_bottleneck(g);
+  EXPECT_NEAR(network_bottleneck(g, f2), b_opt, 0.05);
+  EXPECT_GT(f2.x[0][1], f2.x[0][0]);  // L1 shifted toward S1
+}
+
+TEST(Game, DynamicsSettleToNash) {
+  sim::Rng rng(77);
+  for (int inst = 0; inst < 20; ++inst) {
+    LeafSpineGame g = LeafSpineGame::uniform(3, 3, 10);
+    const int users = 1 + static_cast<int>(rng.index(4));
+    for (int u = 0; u < users; ++u) {
+      int src = static_cast<int>(rng.index(3));
+      int dst = static_cast<int>(rng.index(3));
+      while (dst == src) dst = static_cast<int>(rng.index(3));
+      g.users.push_back({src, dst, 1.0 + rng.uniform() * 10});
+    }
+    GameFlow f = random_flow(g, rng);
+    const int rounds = best_response_dynamics(g, f);
+    EXPECT_LT(rounds, 200) << "did not settle";
+    EXPECT_TRUE(is_nash(g, f, 1e-5)) << "instance " << inst;
+  }
+}
+
+TEST(Game, PriceOfAnarchyAtMostTwo) {
+  // Theorem 1: network bottleneck at any Nash is <= 2x optimal. Probe random
+  // instances from random starts.
+  sim::Rng rng(123);
+  double worst = 1.0;
+  for (int inst = 0; inst < 30; ++inst) {
+    LeafSpineGame g;
+    g.num_leaves = 2 + static_cast<int>(rng.index(3));
+    g.num_spines = 2 + static_cast<int>(rng.index(3));
+    g.up.assign(static_cast<std::size_t>(g.num_leaves),
+                std::vector<double>(static_cast<std::size_t>(g.num_spines)));
+    g.down.assign(static_cast<std::size_t>(g.num_spines),
+                  std::vector<double>(static_cast<std::size_t>(g.num_leaves)));
+    for (int l = 0; l < g.num_leaves; ++l) {
+      for (int s = 0; s < g.num_spines; ++s) {
+        g.up[static_cast<std::size_t>(l)][static_cast<std::size_t>(s)] =
+            10 + rng.uniform() * 90;
+        g.down[static_cast<std::size_t>(s)][static_cast<std::size_t>(l)] =
+            10 + rng.uniform() * 90;
+      }
+    }
+    const int users = 2 + static_cast<int>(rng.index(4));
+    for (int u = 0; u < users; ++u) {
+      int src = static_cast<int>(rng.index(static_cast<std::size_t>(g.num_leaves)));
+      int dst = static_cast<int>(rng.index(static_cast<std::size_t>(g.num_leaves)));
+      while (dst == src) {
+        dst = static_cast<int>(rng.index(static_cast<std::size_t>(g.num_leaves)));
+      }
+      g.users.push_back({src, dst, 5 + rng.uniform() * 40});
+    }
+    for (int start = 0; start < 3; ++start) {
+      GameFlow f = random_flow(g, rng);
+      best_response_dynamics(g, f);
+      if (is_nash(g, f, 1e-5)) {
+        worst = std::max(worst, anarchy_ratio(g, f));
+      }
+    }
+  }
+  EXPECT_LE(worst, 2.0 + 1e-6);
+}
+
+TEST(Game, InfeasibleDemandsReportInfinity) {
+  LeafSpineGame g = LeafSpineGame::uniform(2, 1, 10);
+  g.up[0][0] = 0;  // user's only path has no capacity
+  g.users.push_back({0, 1, 5});
+  EXPECT_TRUE(std::isinf(optimal_bottleneck(g)));
+}
+
+// --- Theorem 2 ---
+
+TEST(Theorem2, ImbalanceDecaysOverTime) {
+  const workload::FlowSizeDist d = workload::fixed_size(1000);
+  ImbalanceParams p;
+  p.n_links = 4;
+  p.lambda = 50000;
+  p.trials = 100;
+  p.t_seconds = 0.05;
+  const double chi_short = expected_imbalance(d, p);
+  p.t_seconds = 1.0;
+  const double chi_long = expected_imbalance(d, p);
+  EXPECT_LT(chi_long, chi_short);
+  // chi ~ 1/sqrt(t): 20x longer -> ~4.5x smaller.
+  EXPECT_LT(chi_long, chi_short / 2.5);
+}
+
+TEST(Theorem2, HeavierTailsAreWorse) {
+  ImbalanceParams p;
+  p.n_links = 4;
+  p.lambda = 20000;
+  p.trials = 100;
+  p.t_seconds = 0.5;
+  const double chi_fixed =
+      expected_imbalance(workload::fixed_size(
+                             workload::data_mining().mean_bytes()),
+                         p);
+  const double chi_dm = expected_imbalance(workload::data_mining(), p);
+  EXPECT_GT(chi_dm, 2.0 * chi_fixed)
+      << "high coefficient of variation must hurt balance";
+}
+
+TEST(Theorem2, EffectiveRateFormula) {
+  const workload::FlowSizeDist d = workload::fixed_size(1000);  // cv = 0
+  // lambda_e = lambda / (8 n log n).
+  EXPECT_NEAR(effective_rate(d, 4, 1000.0),
+              1000.0 / (8 * 4 * std::log(4.0)), 1e-9);
+}
+
+TEST(Theorem2, BoundHoldsInSimulation) {
+  // The Monte-Carlo imbalance must respect the analytic upper bound
+  // E[chi(t)] <= 1/sqrt(lambda_e t) (+O(1/t), ignored — bound is loose).
+  for (const workload::FlowSizeDist* d :
+       {&workload::enterprise(), &workload::web_search()}) {
+    ImbalanceParams p;
+    p.n_links = 4;
+    p.lambda = 20000;
+    p.trials = 60;
+    p.t_seconds = 0.5;
+    const double chi = expected_imbalance(*d, p);
+    const double bound = theorem2_bound(*d, p.n_links, p.lambda, p.t_seconds);
+    EXPECT_LE(chi, bound) << d->name();
+  }
+}
+
+}  // namespace
+}  // namespace conga::analysis

@@ -1,0 +1,241 @@
+// Tests for CONGA's decision logic and feedback loop (§3.3, §3.5),
+// exercised on a real (small) fabric so local DREs and tables are live.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/conga_lb.hpp"
+#include "lb/factories.hpp"
+#include "net/fabric.hpp"
+
+namespace conga::core {
+namespace {
+
+net::TopologyConfig small_topo() {
+  net::TopologyConfig cfg;
+  cfg.num_leaves = 3;
+  cfg.num_spines = 2;
+  cfg.hosts_per_leaf = 2;
+  cfg.links_per_spine = 1;
+  cfg.host_link_bps = 10e9;
+  cfg.fabric_link_bps = 40e9;
+  return cfg;
+}
+
+struct TestRig {
+  sim::Scheduler sched;
+  net::Fabric fabric;
+  CongaLb* lb0;
+
+  explicit TestRig(const net::TopologyConfig& topo = small_topo(),
+                   CongaConfig conga_cfg = {})
+      : fabric(sched, topo, 99) {
+    fabric.install_lb(conga(conga_cfg));
+    lb0 = dynamic_cast<CongaLb*>(fabric.leaf(0).load_balancer());
+  }
+};
+
+net::FlowKey key(int i) {
+  net::FlowKey k;
+  k.src_host = 0;
+  k.dst_host = 2;  // host on leaf 1
+  k.src_port = static_cast<std::uint16_t>(100 + i);
+  k.dst_port = 7;
+  return k;
+}
+
+TEST(CongaLb, InstalledOnEveryLeaf) {
+  TestRig rig;
+  for (int l = 0; l < 3; ++l) {
+    EXPECT_NE(dynamic_cast<CongaLb*>(rig.fabric.leaf(l).load_balancer()),
+              nullptr);
+    EXPECT_EQ(rig.fabric.leaf(l).load_balancer()->name(), "CONGA");
+  }
+}
+
+TEST(CongaLb, CostIsMaxOfLocalAndRemote) {
+  TestRig rig;
+  ASSERT_NE(rig.lb0, nullptr);
+  // No traffic: both components zero.
+  EXPECT_EQ(rig.lb0->cost(1, 0, 0), 0);
+  // Heat up the local DRE of uplink 0.
+  rig.fabric.leaf(0).uplinks()[0].link->dre().add(1 << 24, 0);
+  EXPECT_GT(rig.lb0->cost(1, 0, 0), 0);
+  // Remote metric alone also raises the cost on the other uplink.
+  // (Simulate received feedback: our uplink 1 is congested toward leaf 1.)
+  net::Packet fb;
+  fb.overlay.valid = true;
+  fb.overlay.src_leaf = 1;
+  fb.overlay.lbtag = 0;
+  fb.overlay.ce = 0;
+  fb.overlay.fb_valid = true;
+  fb.overlay.fb_lbtag = 1;
+  fb.overlay.fb_metric = 6;
+  rig.lb0->on_fabric_receive(fb, 0);
+  EXPECT_EQ(rig.lb0->cost(1, 1, 0), 6);
+}
+
+TEST(CongaLb, DecisionPicksLeastCost) {
+  TestRig rig;
+  // Make uplink 0 expensive via remote feedback for destination leaf 1.
+  net::Packet fb;
+  fb.overlay.valid = true;
+  fb.overlay.src_leaf = 1;
+  fb.overlay.lbtag = 0;
+  fb.overlay.fb_valid = true;
+  fb.overlay.fb_lbtag = 0;
+  fb.overlay.fb_metric = 7;
+  rig.lb0->on_fabric_receive(fb, 0);
+  // Decision for a new flowlet toward leaf 1 must avoid uplink 0.
+  EXPECT_EQ(rig.lb0->decide(key(1), 1, 1), 1);
+}
+
+TEST(CongaLb, RemoteMetricsArePerDestinationLeaf) {
+  TestRig rig;
+  // Uplink 0 congested toward leaf 1 only; decisions toward leaf 2 ignore it.
+  net::Packet fb;
+  fb.overlay.valid = true;
+  fb.overlay.src_leaf = 1;
+  fb.overlay.fb_valid = true;
+  fb.overlay.fb_lbtag = 0;
+  fb.overlay.fb_metric = 7;
+  rig.lb0->on_fabric_receive(fb, 0);
+  EXPECT_EQ(rig.lb0->cost(1, 0, 1), 7);
+  EXPECT_EQ(rig.lb0->cost(2, 0, 1), 0);
+}
+
+TEST(CongaLb, TieBreakPrefersPreviousPort) {
+  TestRig rig;
+  const net::FlowKey k = key(2);
+  // Install then expire a flowlet on uplink 1.
+  rig.lb0->flowlets().install(k, 1, 0);
+  const sim::TimeNs later = sim::milliseconds(5);
+  ASSERT_EQ(rig.lb0->flowlets().lookup(k, later), -1) << "must have expired";
+  // All costs equal (idle fabric): the flow must stay on uplink 1.
+  for (int trial = 0; trial < 20; ++trial) {
+    EXPECT_EQ(rig.lb0->decide(k, 1, later), 1);
+  }
+}
+
+TEST(CongaLb, MovesOnlyForStrictlyBetterUplink) {
+  TestRig rig;
+  const net::FlowKey k = key(3);
+  rig.lb0->flowlets().install(k, 0, 0);
+  // Uplink 0 slightly congested, uplink 1 idle: strictly better -> move.
+  net::Packet fb;
+  fb.overlay.valid = true;
+  fb.overlay.src_leaf = 1;
+  fb.overlay.fb_valid = true;
+  fb.overlay.fb_lbtag = 0;
+  fb.overlay.fb_metric = 3;
+  rig.lb0->on_fabric_receive(fb, 0);
+  EXPECT_EQ(rig.lb0->decide(k, 1, 1), 1);
+}
+
+TEST(CongaLb, FlowletStickinessAcrossPackets) {
+  TestRig rig;
+  net::Packet pkt;
+  pkt.flow = key(4);
+  const int first = rig.lb0->select_uplink(pkt, 1, 0);
+  // Subsequent packets within the gap stick to the same uplink even if the
+  // other becomes cheaper in the meantime.
+  rig.fabric.leaf(0)
+      .uplinks()[static_cast<std::size_t>(first)]
+      .link->dre()
+      .add(1 << 24, 0);
+  EXPECT_EQ(rig.lb0->select_uplink(pkt, 1, sim::microseconds(100)), first);
+  EXPECT_EQ(rig.lb0->select_uplink(pkt, 1, sim::microseconds(400)), first);
+}
+
+TEST(CongaLb, NewFlowletReconsiders) {
+  TestRig rig;
+  net::Packet pkt;
+  pkt.flow = key(5);
+  const int first = rig.lb0->select_uplink(pkt, 1, 0);
+  // Heat the chosen uplink right before the next flowlet's decision (the DRE
+  // decays within ~10 tau, so the burst must be recent).
+  rig.fabric.leaf(0)
+      .uplinks()[static_cast<std::size_t>(first)]
+      .link->dre()
+      .add(1 << 24, sim::milliseconds(10));
+  // After the flowlet gap the congested uplink must be abandoned.
+  const int second =
+      rig.lb0->select_uplink(pkt, 1, sim::milliseconds(10));
+  EXPECT_NE(second, first);
+}
+
+TEST(CongaLb, AnnotateInsertsFeedback) {
+  TestRig rig;
+  // Receive a packet from leaf 1 so the From-Leaf table has something.
+  net::Packet in;
+  in.overlay.valid = true;
+  in.overlay.src_leaf = 1;
+  in.overlay.lbtag = 1;
+  in.overlay.ce = 4;
+  rig.lb0->on_fabric_receive(in, 0);
+
+  net::Packet out;
+  out.overlay.valid = true;
+  out.overlay.dst_leaf = 1;
+  rig.lb0->annotate(out, 0, 1);
+  EXPECT_TRUE(out.overlay.fb_valid);
+  EXPECT_EQ(out.overlay.fb_lbtag, 1);
+  EXPECT_EQ(out.overlay.fb_metric, 4);
+}
+
+TEST(CongaLb, AnnotateWithoutStateSendsNoFeedback) {
+  TestRig rig;
+  net::Packet out;
+  out.overlay.valid = true;
+  out.overlay.dst_leaf = 2;
+  rig.lb0->annotate(out, 0, 1);
+  EXPECT_FALSE(out.overlay.fb_valid);
+}
+
+TEST(CongaLb, EndToEndFeedbackLoopPopulatesTables) {
+  // Send real packets host(leaf0) -> host(leaf1) and back; both leaves'
+  // tables must fill in via piggybacking.
+  TestRig rig;
+  auto send = [&](net::HostId src, net::HostId dst, std::uint16_t port) {
+    net::PacketPtr p = net::make_packet();
+    p->flow.src_host = src;
+    p->flow.dst_host = dst;
+    p->flow.src_port = port;
+    p->flow.dst_port = 80;
+    p->size_bytes = 1500;
+    rig.fabric.host(src).send(std::move(p));
+  };
+  for (int i = 0; i < 50; ++i) {
+    send(0, 2, static_cast<std::uint16_t>(1000 + i));  // leaf0 -> leaf1
+    send(2, 0, static_cast<std::uint16_t>(2000 + i));  // leaf1 -> leaf0
+  }
+  rig.sched.run();
+
+  auto* lb1 = dynamic_cast<CongaLb*>(rig.fabric.leaf(1).load_balancer());
+  ASSERT_NE(lb1, nullptr);
+  // Leaf 1 must have received CE state from leaf 0 (From-Leaf table) —
+  // check via pick_feedback which only returns data for updated entries.
+  EXPECT_TRUE(lb1->from_leaf_table().pick_feedback(0, rig.sched.now())
+                  .has_value());
+  EXPECT_TRUE(rig.lb0->from_leaf_table().pick_feedback(1, rig.sched.now())
+                  .has_value());
+}
+
+TEST(CongaLb, CongaFlowConfigUsesLongGap) {
+  const CongaConfig cfg = make_conga_flow_config();
+  EXPECT_EQ(cfg.flowlet.gap, sim::milliseconds(13));
+}
+
+TEST(CongaLb, SelectSpreadsNewFlowsUnderEqualCost) {
+  TestRig rig;
+  std::set<int> used;
+  for (int i = 0; i < 64; ++i) {
+    net::Packet pkt;
+    pkt.flow = key(100 + i);
+    used.insert(rig.lb0->select_uplink(pkt, 1, 0));
+  }
+  EXPECT_EQ(used.size(), 2u) << "random tie-break should use both uplinks";
+}
+
+}  // namespace
+}  // namespace conga::core

@@ -1,0 +1,195 @@
+// Tests for the Discounting Rate Estimator (paper §3.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dre.hpp"
+
+namespace conga::core {
+namespace {
+
+using sim::microseconds;
+using sim::milliseconds;
+
+DreConfig default_cfg() {
+  DreConfig cfg;  // Tdre = 20us, alpha = 0.125 -> tau = 160us (paper default)
+  return cfg;
+}
+
+// At steady input rate R the register ripples within [(1-alpha)Rtau, Rtau];
+// tests accept that band plus a little sampling noise.
+constexpr double kRippleLo = 0.85;
+constexpr double kRippleHi = 1.03;
+
+TEST(Dre, TauIsTdreOverAlpha) {
+  DreConfig cfg;
+  cfg.t_dre = microseconds(40);
+  cfg.alpha = 0.25;
+  EXPECT_EQ(cfg.tau(), microseconds(160));
+}
+
+TEST(Dre, StartsAtZero) {
+  Dre dre(default_cfg(), 10e9);
+  EXPECT_EQ(dre.quantized(0), 0);
+  EXPECT_DOUBLE_EQ(dre.utilization(0), 0.0);
+}
+
+TEST(Dre, TracksSteadyRate) {
+  // Feed packets at exactly half the link rate; after several tau the
+  // estimate must settle near 0.5 utilization (X ~= R * tau).
+  const double rate_bps = 10e9;
+  Dre dre(default_cfg(), rate_bps);
+  const std::uint32_t pkt = 1500;
+  const double half_rate_Bps = rate_bps / 8.0 / 2.0;
+  const auto gap = static_cast<sim::TimeNs>(pkt / half_rate_Bps * 1e9);
+  sim::TimeNs t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    dre.add(pkt, t);
+    t += gap;
+  }
+  EXPECT_GT(dre.utilization(t), 0.5 * kRippleLo);
+  EXPECT_LT(dre.utilization(t), 0.5 * kRippleHi);
+}
+
+TEST(Dre, TracksFullRate) {
+  const double rate_bps = 40e9;
+  Dre dre(default_cfg(), rate_bps);
+  const std::uint32_t pkt = 1500;
+  const auto gap =
+      static_cast<sim::TimeNs>(pkt * 8.0 / rate_bps * 1e9);
+  sim::TimeNs t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    dre.add(pkt, t);
+    t += gap;
+  }
+  EXPECT_GT(dre.utilization(t), kRippleLo);
+  EXPECT_LT(dre.utilization(t), kRippleHi);
+  EXPECT_GE(dre.quantized(t), dre.max_metric() - 1);
+}
+
+TEST(Dre, RateEstimateMatchesOfferedRate) {
+  const double rate_bps = 10e9;
+  Dre dre(default_cfg(), rate_bps);
+  const std::uint32_t pkt = 9000;
+  const double offered = 3e9;  // 3 Gbps
+  const auto gap = static_cast<sim::TimeNs>(pkt * 8.0 / offered * 1e9);
+  sim::TimeNs t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    dre.add(pkt, t);
+    t += gap;
+  }
+  // Jumbo packets every 24us vs a 20us decay period: lumpier ripple than the
+  // steady-stream cases, so accept a wider band.
+  EXPECT_GT(dre.rate_bps(t) / offered, 0.8);
+  EXPECT_LT(dre.rate_bps(t) / offered, 1.15);
+}
+
+TEST(Dre, DecaysWhenIdle) {
+  Dre dre(default_cfg(), 10e9);
+  dre.add(100000, 0);
+  const double initial = dre.raw_register(microseconds(1));
+  EXPECT_GT(initial, 0);
+  // After 10 tau of idleness the register should be nearly empty.
+  EXPECT_LT(dre.raw_register(microseconds(1600)), initial * 0.01);
+  EXPECT_EQ(dre.quantized(milliseconds(10)), 0);
+}
+
+TEST(Dre, DecayMatchesClosedForm) {
+  DreConfig cfg;
+  cfg.t_dre = microseconds(40);
+  cfg.alpha = 0.25;
+  Dre dre(cfg, 10e9);
+  dre.add(1000, microseconds(5));  // within period 0
+  // After k complete periods, X = 1000 * (0.75)^k.
+  for (int k = 1; k <= 20; ++k) {
+    const double expect = 1000.0 * std::pow(0.75, k);
+    EXPECT_NEAR(dre.raw_register(microseconds(40) * k + 1), expect, 1e-6)
+        << "k=" << k;
+  }
+}
+
+TEST(Dre, LongIdleShortCircuitsToZero) {
+  Dre dre(default_cfg(), 10e9);
+  dre.add(1 << 30, 0);
+  EXPECT_EQ(dre.raw_register(sim::seconds(10.0)), 0.0);
+}
+
+TEST(Dre, RespondsToBurstImmediately) {
+  // Unlike a sampled EWMA, the DRE register rises at the instant the burst
+  // is transmitted — the property §3.2 calls out.
+  Dre dre(default_cfg(), 10e9);
+  EXPECT_EQ(dre.quantized(100), 0);
+  // One tau worth of line-rate bytes in a single burst.
+  const auto burst = static_cast<std::uint32_t>(10e9 / 8 * 160e-6);
+  dre.add(burst, 100);
+  EXPECT_GE(dre.quantized(100), dre.max_metric() - 1);
+}
+
+TEST(Dre, QuantizationBitsRespectQ) {
+  for (int q = 1; q <= 6; ++q) {
+    DreConfig cfg;
+    cfg.q_bits = q;
+    Dre dre(cfg, 10e9);
+    EXPECT_EQ(dre.max_metric(), (1u << q) - 1);
+    // Saturate: metric must clamp at max.
+    dre.add(1u << 30, 0);
+    EXPECT_EQ(dre.quantized(0), dre.max_metric());
+  }
+}
+
+TEST(Dre, QuantizedIsMonotoneInUtilization) {
+  DreConfig cfg;
+  Dre dre(cfg, 10e9);
+  std::uint8_t prev = dre.quantized(0);
+  for (int i = 0; i < 50; ++i) {
+    dre.add(10000, 0);
+    const std::uint8_t q = dre.quantized(0);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Dre, HalfUtilizationQuantizesToMidScale) {
+  DreConfig cfg;  // Q = 3 -> metric in 0..7
+  Dre dre(cfg, 10e9);
+  // Fill the register to exactly half of C * tau.
+  const auto half = static_cast<std::uint32_t>(10e9 / 8 * 160e-6 / 2);
+  dre.add(half, 0);
+  const int q = dre.quantized(0);
+  EXPECT_GE(q, 3);
+  EXPECT_LE(q, 4);
+}
+
+TEST(Dre, UtilizationCanExceedOneDuringBurst) {
+  Dre dre(default_cfg(), 10e9);
+  const auto twice = static_cast<std::uint32_t>(2 * 10e9 / 8 * 160e-6);
+  dre.add(twice, 0);
+  EXPECT_GT(dre.utilization(0), 1.5);
+  EXPECT_EQ(dre.quantized(0), dre.max_metric());  // clamped
+}
+
+TEST(Dre, IndependentOfAbsoluteStartTime) {
+  Dre a(default_cfg(), 10e9), b(default_cfg(), 10e9);
+  a.add(5000, microseconds(40) * 1000 + 3);
+  b.add(5000, 3);
+  EXPECT_DOUBLE_EQ(a.utilization(microseconds(40) * 1000 + 10),
+                   b.utilization(10));
+}
+
+TEST(Dre, SmallerTauReactsFaster) {
+  DreConfig fast;
+  fast.t_dre = microseconds(10);
+  fast.alpha = 0.25;  // tau = 40us
+  DreConfig slow;
+  slow.t_dre = microseconds(40);
+  slow.alpha = 0.1;  // tau = 400us
+  Dre f(fast, 10e9), s(slow, 10e9);
+  f.add(100000, 0);
+  s.add(100000, 0);
+  // After 100us of idleness the fast DRE decays much further.
+  EXPECT_LT(f.raw_register(microseconds(100)),
+            s.raw_register(microseconds(100)) * 0.5);
+}
+
+}  // namespace
+}  // namespace conga::core

@@ -1,0 +1,166 @@
+// Runtime link failure and recovery: the dataplane blackholes immediately,
+// the routing layer withdraws the link after a detection delay, and traffic
+// reconverges — the dynamics behind the paper's §1 motivation that failures
+// are frequent and disruptive.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "lb/factories.hpp"
+#include "net/fabric.hpp"
+#include "tcp/flow.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace conga::net {
+namespace {
+
+TopologyConfig topo2x2(int hosts = 8) {
+  TopologyConfig cfg;
+  cfg.num_leaves = 2;
+  cfg.num_spines = 2;
+  cfg.hosts_per_leaf = hosts;
+  cfg.host_link_bps = 10e9;
+  cfg.fabric_link_bps = 40e9;
+  return cfg;
+}
+
+tcp::TcpConfig dc_tcp() {
+  tcp::TcpConfig t;
+  t.min_rto = sim::milliseconds(5);
+  return t;
+}
+
+TEST(FailureRecovery, DetectionWithdrawsAndRestoreReinstates) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, topo2x2(), 1);
+  fabric.install_lb(core::conga());
+
+  EXPECT_TRUE(fabric.leaf(0).uplink_reaches(1, 1));
+  fabric.fail_fabric_link(0, 1, 0, sim::microseconds(100));
+  // Before detection: forwarding state unchanged (packets blackhole).
+  sched.run_until(sim::microseconds(50));
+  EXPECT_TRUE(fabric.leaf(0).uplink_reaches(1, 1));
+  // After detection: the uplink is withdrawn for every destination.
+  sched.run_until(sim::microseconds(200));
+  EXPECT_FALSE(fabric.leaf(0).uplink_reaches(1, 1));
+  EXPECT_FALSE(fabric.leaf(0).uplink_live(1));
+  EXPECT_TRUE(fabric.leaf(0).uplink_reaches(0, 1)) << "other uplink fine";
+
+  fabric.restore_fabric_link(0, 1, 0, sim::microseconds(100));
+  sched.run_until(sim::microseconds(400));
+  EXPECT_TRUE(fabric.leaf(0).uplink_reaches(1, 1));
+  EXPECT_TRUE(fabric.leaf(0).uplink_live(1));
+}
+
+TEST(FailureRecovery, SpineSideAlsoWithdrawn) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, topo2x2(), 1);
+  fabric.install_lb(core::conga());
+  fabric.fail_fabric_link(1, 0, 0, 0);
+  sched.run_until(sim::microseconds(10));
+  // Leaf 0's uplinks must avoid spine 0 for destination leaf 1: spine 0 has
+  // no remaining downlink to leaf 1 (links_per_spine == 1).
+  EXPECT_FALSE(fabric.leaf(0).uplink_reaches(0, 1));
+  EXPECT_TRUE(fabric.leaf(0).uplink_reaches(1, 1));
+}
+
+TEST(FailureRecovery, FlowsSurviveAFailureMidTransfer) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, topo2x2(), 1);
+  fabric.install_lb(core::conga());
+  std::vector<std::unique_ptr<tcp::TcpFlow>> flows;
+  for (int i = 0; i < 4; ++i) {
+    FlowKey key;
+    key.src_host = i;
+    key.dst_host = 8 + i;
+    key.src_port = static_cast<std::uint16_t>(1000 + 16 * i);
+    key.dst_port = 80;
+    flows.push_back(std::make_unique<tcp::TcpFlow>(
+        sched, fabric.host(i), fabric.host(8 + i), key, 20'000'000, dc_tcp(),
+        tcp::FlowCompleteFn{}));
+    flows.back()->start();
+  }
+  sched.schedule_at(sim::milliseconds(5), [&] {
+    fabric.fail_fabric_link(0, 0, 0, sim::milliseconds(1));
+  });
+  sched.run();
+  for (auto& f : flows) {
+    ASSERT_TRUE(f->complete());
+    EXPECT_EQ(f->sink().delivered(), 20'000'000u);
+  }
+}
+
+TEST(FailureRecovery, ThroughputReconvergesAfterDetection) {
+  // 60% offered load; fail one of leaf0's two uplinks mid-run with a 1 ms
+  // detection delay. After reconvergence the surviving uplink must carry
+  // (nearly) all of leaf 0's egress.
+  sim::Scheduler sched;
+  Fabric fabric(sched, topo2x2(16), 1);
+  fabric.install_lb(core::conga());
+  workload::TrafficGenConfig gc;
+  gc.load = 0.4;
+  gc.stop = sim::milliseconds(60);
+  workload::TrafficGenerator gen(fabric,
+                                 tcp::make_tcp_flow_factory(dc_tcp()),
+                                 workload::fixed_size(200'000), gc);
+  gen.start();
+  sched.schedule_at(sim::milliseconds(20), [&] {
+    fabric.fail_fabric_link(0, 0, 0, sim::milliseconds(1));
+  });
+  sched.run_until(sim::milliseconds(30));
+  const auto& ups = fabric.leaf(0).uplinks();
+  const std::uint64_t dead_at_30 = ups[0].link->bytes_sent();
+  const std::uint64_t live_at_30 = ups[1].link->bytes_sent();
+  sched.run_until(sim::milliseconds(60));
+  const std::uint64_t dead_at_60 = ups[0].link->bytes_sent();
+  const std::uint64_t live_at_60 = ups[1].link->bytes_sent();
+  EXPECT_EQ(dead_at_60, dead_at_30)
+      << "nothing may be sent to a withdrawn uplink";
+  EXPECT_GT(live_at_60 - live_at_30, (dead_at_30 + live_at_30) / 4)
+      << "the survivor must absorb the load";
+}
+
+TEST(FailureRecovery, RestoredLinkCarriesTrafficAgain) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, topo2x2(16), 1);
+  fabric.install_lb(core::conga());
+  workload::TrafficGenConfig gc;
+  gc.load = 0.4;
+  gc.stop = sim::milliseconds(80);
+  workload::TrafficGenerator gen(fabric,
+                                 tcp::make_tcp_flow_factory(dc_tcp()),
+                                 workload::fixed_size(200'000), gc);
+  gen.start();
+  sched.schedule_at(sim::milliseconds(10), [&] {
+    fabric.fail_fabric_link(0, 0, 0, sim::milliseconds(1));
+  });
+  sched.schedule_at(sim::milliseconds(40), [&] {
+    fabric.restore_fabric_link(0, 0, 0, sim::milliseconds(1));
+  });
+  const auto& ups = fabric.leaf(0).uplinks();
+  sched.run_until(sim::milliseconds(45));
+  const std::uint64_t before = ups[0].link->bytes_sent();
+  sched.run_until(sim::milliseconds(80));
+  EXPECT_GT(ups[0].link->bytes_sent(), before)
+      << "the restored uplink must attract flowlets again";
+}
+
+TEST(FailureRecovery, EcmpAlsoRespectsWithdrawal) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, topo2x2(), 1);
+  fabric.install_lb(lb::ecmp());
+  fabric.fail_fabric_link(0, 0, 0, 0);
+  sched.run_until(sim::microseconds(10));
+  for (int i = 0; i < 64; ++i) {
+    Packet p;
+    p.flow.src_host = 0;
+    p.flow.dst_host = 8;
+    p.flow.src_port = static_cast<std::uint16_t>(i);
+    p.flow.dst_port = 9;
+    EXPECT_EQ(fabric.leaf(0).load_balancer()->select_uplink(p, 1, 0), 1);
+  }
+}
+
+}  // namespace
+}  // namespace conga::net

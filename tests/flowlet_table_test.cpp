@@ -1,0 +1,166 @@
+// Tests for the Flowlet Table (paper §3.4).
+#include <gtest/gtest.h>
+
+#include "core/flowlet_table.hpp"
+
+namespace conga::core {
+namespace {
+
+using sim::microseconds;
+
+net::FlowKey key(int i) {
+  net::FlowKey k;
+  k.src_host = i;
+  k.dst_host = 1000 + i;
+  k.src_port = static_cast<std::uint16_t>(i * 7 + 1);
+  k.dst_port = 99;
+  return k;
+}
+
+FlowletTableConfig cfg_with_gap(sim::TimeNs gap,
+                                FlowletExpiry mode = FlowletExpiry::kTimestamp) {
+  FlowletTableConfig cfg;
+  cfg.gap = gap;
+  cfg.expiry = mode;
+  return cfg;
+}
+
+TEST(FlowletTable, MissOnFirstPacket) {
+  FlowletTable t(cfg_with_gap(microseconds(500)));
+  EXPECT_EQ(t.lookup(key(1), 0), -1);
+}
+
+TEST(FlowletTable, HitWithinGap) {
+  FlowletTable t(cfg_with_gap(microseconds(500)));
+  t.install(key(1), 3, 0);
+  EXPECT_EQ(t.lookup(key(1), microseconds(100)), 3);
+  EXPECT_EQ(t.lookup(key(1), microseconds(400)), 3);
+}
+
+TEST(FlowletTable, PacketsRefreshLiveness) {
+  FlowletTable t(cfg_with_gap(microseconds(500)));
+  t.install(key(1), 3, 0);
+  // Keep touching every 400us; the flowlet must stay alive far beyond Tfl.
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(t.lookup(key(1), microseconds(400) * i), 3) << i;
+  }
+}
+
+TEST(FlowletTable, ExpiresAfterGap) {
+  FlowletTable t(cfg_with_gap(microseconds(500)));
+  t.install(key(1), 3, 0);
+  EXPECT_EQ(t.lookup(key(1), microseconds(501)), -1);
+}
+
+TEST(FlowletTable, ExactGapBoundaryStillAlive) {
+  FlowletTable t(cfg_with_gap(microseconds(500)));
+  t.install(key(1), 3, 0);
+  EXPECT_EQ(t.lookup(key(1), microseconds(500)), 3);
+}
+
+TEST(FlowletTable, RemembersLastPortAfterExpiry) {
+  // §3.5 tie-break: "preference given to the port cached in the (invalid)
+  // entry" — the stale port must remain readable.
+  FlowletTable t(cfg_with_gap(microseconds(500)));
+  t.install(key(1), 5, 0);
+  EXPECT_EQ(t.lookup(key(1), microseconds(2000)), -1);
+  EXPECT_EQ(t.last_port(key(1)), 5);
+}
+
+TEST(FlowletTable, LastPortUnsetInitially) {
+  FlowletTable t(cfg_with_gap(microseconds(500)));
+  EXPECT_EQ(t.last_port(key(42)), -1);
+}
+
+TEST(FlowletTable, DistinctFlowsTrackedIndependently) {
+  FlowletTable t(cfg_with_gap(microseconds(500)));
+  t.install(key(1), 1, 0);
+  t.install(key(2), 2, 0);
+  EXPECT_EQ(t.lookup(key(1), microseconds(10)), 1);
+  EXPECT_EQ(t.lookup(key(2), microseconds(10)), 2);
+}
+
+TEST(FlowletTable, CollisionsShareTheEntry) {
+  // With a 1-entry table every flow collides — the entry is shared, exactly
+  // as in the ASIC (paper Remark 1).
+  FlowletTableConfig cfg = cfg_with_gap(microseconds(500));
+  cfg.num_entries = 1;
+  FlowletTable t(cfg);
+  t.install(key(1), 4, 0);
+  EXPECT_EQ(t.lookup(key(2), microseconds(10)), 4);  // different flow, same slot
+}
+
+TEST(FlowletTable, CountsNewFlowlets) {
+  FlowletTable t(cfg_with_gap(microseconds(500)));
+  t.install(key(1), 0, 0);
+  t.install(key(2), 1, 0);
+  t.install(key(1), 2, microseconds(1000));  // new flowlet of flow 1
+  EXPECT_EQ(t.new_flowlets(), 3u);
+}
+
+TEST(FlowletTable, ActiveFlowletCount) {
+  FlowletTable t(cfg_with_gap(microseconds(500)));
+  t.install(key(1), 0, 0);
+  t.install(key(2), 1, 0);
+  t.install(key(3), 2, microseconds(450));
+  EXPECT_EQ(t.active_flowlets(microseconds(460)), 3u);
+  EXPECT_EQ(t.active_flowlets(microseconds(600)), 1u);  // only flow 3 alive
+  EXPECT_EQ(t.active_flowlets(microseconds(5000)), 0u);
+}
+
+// --- age-bit mode: gaps detected between Tfl and 2*Tfl ---
+
+TEST(FlowletTableAgeBit, NeverExpiresBeforeTfl) {
+  FlowletTable t(cfg_with_gap(microseconds(500), FlowletExpiry::kAgeBit));
+  // Touch at the very start of a period: survives at least until the second
+  // tick after it, i.e. a full 2*Tfl here.
+  t.install(key(1), 3, microseconds(500));  // exactly at tick 1
+  EXPECT_EQ(t.lookup(key(1), microseconds(999)), 3);
+  EXPECT_EQ(t.lookup(key(1), microseconds(1400)), 3)
+      << "age bit cannot expire before the second tick";
+}
+
+TEST(FlowletTableAgeBit, AlwaysExpiredByTwoTfl) {
+  FlowletTable t(cfg_with_gap(microseconds(500), FlowletExpiry::kAgeBit));
+  // Touch just before a tick: the earliest possible expiry, just over Tfl.
+  t.install(key(1), 3, microseconds(499));
+  EXPECT_EQ(t.lookup(key(1), microseconds(1000)), -1)
+      << "tick at 1000 finds the entry untouched since before tick at 500";
+}
+
+TEST(FlowletTableAgeBit, DetectionWindowIsBetweenTflAnd2Tfl) {
+  const sim::TimeNs tfl = microseconds(500);
+  for (int offset_us = 0; offset_us < 500; offset_us += 50) {
+    FlowletTable t(cfg_with_gap(tfl, FlowletExpiry::kAgeBit));
+    const sim::TimeNs touch = microseconds(offset_us);
+    t.install(key(1), 3, touch);
+    // Find the expiry time: first lookup returning -1.
+    sim::TimeNs expiry = -1;
+    for (sim::TimeNs probe = touch + 1; probe < touch + 3 * tfl;
+         probe += microseconds(10)) {
+      FlowletTable fresh(cfg_with_gap(tfl, FlowletExpiry::kAgeBit));
+      fresh.install(key(1), 3, touch);
+      if (fresh.lookup(key(1), probe) == -1) {
+        expiry = probe;
+        break;
+      }
+    }
+    ASSERT_GT(expiry, 0) << "entry never expired";
+    const sim::TimeNs gap = expiry - touch;
+    EXPECT_GT(gap, tfl) << "offset " << offset_us;
+    EXPECT_LE(gap, 2 * tfl + microseconds(10)) << "offset " << offset_us;
+  }
+}
+
+TEST(FlowletTable, CongaFlowGapDisablesSplitting) {
+  // CONGA-Flow uses Tfl = 13ms: any realistic intra-flow gap keeps the
+  // flowlet alive, so a flow makes one decision.
+  FlowletTable t(cfg_with_gap(sim::milliseconds(13)));
+  t.install(key(1), 2, 0);
+  for (int ms = 1; ms <= 12; ++ms) {
+    EXPECT_EQ(t.lookup(key(1), sim::milliseconds(ms)), 2);
+  }
+}
+
+}  // namespace
+}  // namespace conga::core

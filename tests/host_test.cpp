@@ -1,0 +1,128 @@
+// Tests for Host packet demultiplexing and endpoint lifecycle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lb/factories.hpp"
+#include "net/fabric.hpp"
+#include "net/host.hpp"
+
+namespace conga::net {
+namespace {
+
+struct Rig {
+  sim::Scheduler sched;
+  Fabric fabric;
+  Rig() : fabric(sched, small(), 1) { fabric.install_lb(lb::ecmp()); }
+  static TopologyConfig small() {
+    TopologyConfig cfg;
+    cfg.num_leaves = 2;
+    cfg.num_spines = 1;
+    cfg.hosts_per_leaf = 2;
+    return cfg;
+  }
+  PacketPtr pkt(const FlowKey& key, bool ack = false) {
+    PacketPtr p = make_packet();
+    p->flow = key;
+    p->tcp.is_ack = ack;
+    p->size_bytes = 500;
+    return p;
+  }
+};
+
+FlowKey key(std::uint16_t sport) { return FlowKey{0, 2, sport, 80}; }
+
+TEST(Host, RegisteredEndpointReceivesItsFlow) {
+  Rig rig;
+  int got = 0;
+  rig.fabric.host(2).register_flow(key(1), [&](PacketPtr) { ++got; });
+  rig.fabric.host(0).send(rig.pkt(key(1)));
+  rig.sched.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Host, FlowsAreIsolated) {
+  Rig rig;
+  int got1 = 0, got2 = 0;
+  rig.fabric.host(2).register_flow(key(1), [&](PacketPtr) { ++got1; });
+  rig.fabric.host(2).register_flow(key(2), [&](PacketPtr) { ++got2; });
+  rig.fabric.host(0).send(rig.pkt(key(2)));
+  rig.fabric.host(0).send(rig.pkt(key(2)));
+  rig.sched.run();
+  EXPECT_EQ(got1, 0);
+  EXPECT_EQ(got2, 2);
+}
+
+TEST(Host, AckRoutesToSameFlowKeyAtTheSender) {
+  // The data-direction key demuxes both directions: the sender registers the
+  // key and receives the reverse-travelling ACK.
+  Rig rig;
+  int acks = 0;
+  rig.fabric.host(0).register_flow(key(9), [&](PacketPtr p) {
+    if (p->tcp.is_ack) ++acks;
+  });
+  rig.fabric.host(2).send(rig.pkt(key(9), /*ack=*/true));
+  rig.sched.run();
+  EXPECT_EQ(acks, 1);
+}
+
+TEST(Host, DefaultHandlerCatchesUnknownFlows) {
+  Rig rig;
+  int unknown = 0;
+  rig.fabric.host(2).set_default_handler([&](PacketPtr) { ++unknown; });
+  rig.fabric.host(0).send(rig.pkt(key(42)));
+  rig.sched.run();
+  EXPECT_EQ(unknown, 1);
+}
+
+TEST(Host, UnknownFlowWithoutHandlerIsDropped) {
+  Rig rig;
+  rig.fabric.host(0).send(rig.pkt(key(43)));
+  rig.sched.run();  // must not crash
+  SUCCEED();
+}
+
+TEST(Host, UnregisterStopsDelivery) {
+  Rig rig;
+  int got = 0;
+  rig.fabric.host(2).register_flow(key(5), [&](PacketPtr) { ++got; });
+  rig.fabric.host(0).send(rig.pkt(key(5)));
+  rig.sched.run();
+  rig.fabric.host(2).unregister_flow(key(5));
+  rig.fabric.host(0).send(rig.pkt(key(5)));
+  rig.sched.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Host, HandlerMayUnregisterItselfSafely) {
+  Rig rig;
+  int got = 0;
+  Host& h = rig.fabric.host(2);
+  h.register_flow(key(6), [&](PacketPtr) {
+    ++got;
+    h.unregister_flow(key(6));  // must not invalidate the running callback
+  });
+  rig.fabric.host(0).send(rig.pkt(key(6)));
+  rig.fabric.host(0).send(rig.pkt(key(6)));
+  rig.sched.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Host, BytesReceivedAccumulates) {
+  Rig rig;
+  rig.fabric.host(2).set_default_handler([](PacketPtr) {});
+  rig.fabric.host(0).send(rig.pkt(key(7)));
+  rig.fabric.host(0).send(rig.pkt(key(8)));
+  rig.sched.run();
+  EXPECT_EQ(rig.fabric.host(2).bytes_received(), 1000u);
+}
+
+TEST(Host, IdentityAccessors) {
+  Rig rig;
+  EXPECT_EQ(rig.fabric.host(3).id(), 3);
+  EXPECT_EQ(rig.fabric.host(3).leaf(), 1);
+  EXPECT_EQ(rig.fabric.host(3).name(), "host3");
+}
+
+}  // namespace
+}  // namespace conga::net

@@ -1,0 +1,250 @@
+// Tests for MPTCP with LIA coupled congestion control.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "lb/factories.hpp"
+#include "net/fabric.hpp"
+#include "tcp/mptcp_connection.hpp"
+
+namespace conga::tcp {
+namespace {
+
+net::TopologyConfig topo4() {
+  net::TopologyConfig cfg;
+  cfg.num_leaves = 2;
+  cfg.num_spines = 4;
+  cfg.hosts_per_leaf = 4;
+  cfg.host_link_bps = 10e9;
+  cfg.fabric_link_bps = 10e9;  // fabric paths individually narrower than 4x
+  return cfg;
+}
+
+struct Rig {
+  sim::Scheduler sched;
+  net::Fabric fabric;
+  explicit Rig(net::TopologyConfig t = topo4()) : fabric(sched, t, 3) {
+    fabric.install_lb(lb::ecmp());
+  }
+
+  std::unique_ptr<MptcpFlow> flow(net::HostId src, net::HostId dst,
+                                  std::uint64_t size, const MptcpConfig& cfg,
+                                  std::uint16_t sport = 100) {
+    net::FlowKey key;
+    key.src_host = src;
+    key.dst_host = dst;
+    key.src_port = sport;
+    key.dst_port = 200;
+    return std::make_unique<MptcpFlow>(sched, fabric.host(src),
+                                       fabric.host(dst), key, size, cfg,
+                                       FlowCompleteFn{});
+  }
+};
+
+MptcpConfig dc_mptcp(int subflows = 8) {
+  MptcpConfig cfg;
+  cfg.num_subflows = subflows;
+  cfg.tcp.min_rto = sim::milliseconds(10);
+  return cfg;
+}
+
+TEST(Mptcp, CompletesTransfer) {
+  Rig rig;
+  auto f = rig.flow(0, 4, 5'000'000, dc_mptcp());
+  f->start();
+  rig.sched.run();
+  ASSERT_TRUE(f->complete());
+}
+
+TEST(Mptcp, CreatesRequestedSubflows) {
+  Rig rig;
+  auto f = rig.flow(0, 4, 1'000'000, dc_mptcp(8));
+  EXPECT_EQ(f->num_subflows(), 8);
+  auto g = rig.flow(0, 5, 1'000'000, dc_mptcp(2), 300);
+  EXPECT_EQ(g->num_subflows(), 2);
+}
+
+TEST(Mptcp, SubflowsHaveDistinctPorts) {
+  Rig rig;
+  auto f = rig.flow(0, 4, 1'000'000, dc_mptcp(8));
+  std::set<std::uint16_t> ports;
+  for (int i = 0; i < f->num_subflows(); ++i) {
+    ports.insert(f->subflow(i).flow().src_port);
+  }
+  EXPECT_EQ(ports.size(), 8u);
+}
+
+TEST(Mptcp, SingleSubflowBehavesLikeTcp) {
+  Rig rig;
+  const std::uint64_t size = 20'000'000;
+  auto f = rig.flow(0, 4, size, dc_mptcp(1));
+  f->start();
+  rig.sched.run();
+  ASSERT_TRUE(f->complete());
+  const double gbps = size * 8.0 / sim::to_seconds(f->fct()) / 1e9;
+  EXPECT_GT(gbps, 8.0);
+}
+
+TEST(Mptcp, AggregatesMultiplePaths) {
+  // Host links 40G, fabric links 10G: one subflow can at best use one 10G
+  // path, while 8 subflows spread over 4 spines and aggregate more.
+  net::TopologyConfig t = topo4();
+  t.host_link_bps = 40e9;
+  Rig rig(t);
+  const std::uint64_t size = 30'000'000;
+
+  auto one = rig.flow(0, 4, size, dc_mptcp(1), 100);
+  one->start();
+  rig.sched.run();
+  ASSERT_TRUE(one->complete());
+  const double gbps_one = size * 8.0 / sim::to_seconds(one->fct()) / 1e9;
+
+  Rig rig2(t);
+  auto many = rig2.flow(0, 4, size, dc_mptcp(8), 100);
+  many->start();
+  rig2.sched.run();
+  ASSERT_TRUE(many->complete());
+  const double gbps_many = size * 8.0 / sim::to_seconds(many->fct()) / 1e9;
+
+  EXPECT_LT(gbps_one, 11.0);
+  EXPECT_GT(gbps_many, 1.5 * gbps_one);
+}
+
+TEST(Mptcp, DeliversExactly) {
+  Rig rig;
+  const std::uint64_t size = 3'333'333;
+  auto f = rig.flow(0, 4, size, dc_mptcp());
+  f->start();
+  rig.sched.run();
+  ASSERT_TRUE(f->complete());
+  std::uint64_t acked = 0;
+  for (int i = 0; i < f->num_subflows(); ++i) {
+    acked += f->subflow(i).bytes_acked();
+  }
+  EXPECT_EQ(acked, size);
+}
+
+TEST(Mptcp, AlphaIsFiniteAndPositive) {
+  Rig rig;
+  auto f = rig.flow(0, 4, 10'000'000, dc_mptcp());
+  f->start();
+  rig.sched.run_until(sim::milliseconds(2));
+  EXPECT_GT(f->alpha(), 0.0);
+  EXPECT_LT(f->alpha(), 1e6);
+  rig.sched.run();
+  EXPECT_TRUE(f->complete());
+}
+
+TEST(Mptcp, CoupledIncreaseIsGentlerThanNSingleFlows) {
+  // LIA caps the aggregate increase: after the same time on an uncongested
+  // path, total cwnd of 8 coupled subflows stays below 8x a single TCP's
+  // growth (RFC 6356 goal: don't be more aggressive than one TCP per path
+  // bundle). We compare against 8 * single-subflow cwnd.
+  Rig rig;
+  auto coupled = rig.flow(0, 4, 50'000'000, dc_mptcp(8), 100);
+  coupled->start();
+  Rig rig2;
+  auto single = rig2.flow(0, 4, 50'000'000, dc_mptcp(1), 100);
+  single->start();
+  // Run past slow start into congestion avoidance.
+  rig.sched.run_until(sim::milliseconds(20));
+  rig2.sched.run_until(sim::milliseconds(20));
+  EXPECT_LT(coupled->total_cwnd(), 8.0 * single->total_cwnd());
+}
+
+TEST(Mptcp, LiaIsNotGrosslyUnfairToSingleTcp) {
+  // RFC 6356 goal: an MPTCP bundle should take about one TCP's share of a
+  // shared bottleneck, not num_subflows shares. Drop-tail makes the contest
+  // oscillate, so assert a generous band over a long horizon.
+  net::TopologyConfig topo;
+  topo.num_leaves = 2;
+  topo.num_spines = 2;
+  topo.hosts_per_leaf = 4;
+  sim::Scheduler sched;
+  net::Fabric fabric(sched, topo, 1);
+  fabric.install_lb(lb::ecmp());
+  tcp::TcpConfig t;
+  t.min_rto = sim::milliseconds(10);
+  net::FlowKey k1{0, 4, 100, 200};
+  TcpFlow tcp_flow(sched, fabric.host(0), fabric.host(4), k1,
+                   std::uint64_t{1} << 40, t, FlowCompleteFn{});
+  MptcpConfig m;
+  m.tcp = t;
+  m.num_subflows = 8;
+  net::FlowKey k2{1, 4, 300, 400};
+  MptcpFlow mptcp_flow(sched, fabric.host(1), fabric.host(4), k2,
+                       std::uint64_t{1} << 40, m, FlowCompleteFn{});
+  tcp_flow.start();
+  sched.schedule_at(sim::milliseconds(5), [&] { mptcp_flow.start(); });
+
+  sched.run_until(sim::milliseconds(40));  // past the start-up transient
+  const std::uint64_t t0 = tcp_flow.sender().bytes_acked();
+  std::uint64_t m0 = 0;
+  for (int i = 0; i < 8; ++i) m0 += mptcp_flow.subflow(i).bytes_acked();
+  sched.run_until(sim::milliseconds(240));
+  const std::uint64_t t1 = tcp_flow.sender().bytes_acked();
+  std::uint64_t m1 = 0;
+  for (int i = 0; i < 8; ++i) m1 += mptcp_flow.subflow(i).bytes_acked();
+
+  const double tcp_bytes = static_cast<double>(t1 - t0);
+  const double mptcp_bytes = static_cast<double>(m1 - m0);
+  const double mptcp_share = mptcp_bytes / (tcp_bytes + mptcp_bytes);
+  EXPECT_GT(mptcp_share, 0.1) << "MPTCP must not starve";
+  EXPECT_LT(mptcp_share, 0.75)
+      << "coupling must prevent 8 subflows taking 8 shares";
+  // The link stays busy throughout.
+  EXPECT_GT((tcp_bytes + mptcp_bytes) * 8 / 0.2, 8e9);
+}
+
+TEST(Mptcp, ZeroByteFlowCompletes) {
+  Rig rig;
+  auto f = rig.flow(0, 4, 0, dc_mptcp());
+  f->start();
+  rig.sched.run();
+  EXPECT_TRUE(f->complete());
+}
+
+TEST(Mptcp, SmallFlowSmallerThanSubflowCount) {
+  Rig rig;
+  auto f = rig.flow(0, 4, 3, dc_mptcp(8));
+  f->start();
+  rig.sched.run();
+  EXPECT_TRUE(f->complete());
+}
+
+TEST(Mptcp, SurvivesPathFailureAfterStart) {
+  // One subflow's path dies; its RTO eventually re-sends the stranded chunk
+  // on the same subflow... which is blackholed, but other subflows carry the
+  // rest. The flow cannot fully complete if the chunk is stranded — verify
+  // the connection at least delivers everything when the path heals.
+  Rig rig;
+  auto f = rig.flow(0, 4, 10'000'000, dc_mptcp(8));
+  f->start();
+  rig.sched.run_until(sim::microseconds(500));
+  rig.fabric.down_link(2, 1, 0)->set_up(false);  // kill one spine->leaf1 path
+  rig.sched.run_until(sim::milliseconds(100));
+  rig.fabric.down_link(2, 1, 0)->set_up(true);
+  rig.sched.run();
+  EXPECT_TRUE(f->complete());
+}
+
+TEST(Mptcp, FactoryProducesWorkingFlows) {
+  Rig rig;
+  auto factory = make_mptcp_flow_factory(dc_mptcp());
+  net::FlowKey key;
+  key.src_host = 0;
+  key.dst_host = 4;
+  key.src_port = 500;
+  key.dst_port = 600;
+  bool completed = false;
+  auto f = factory(rig.sched, rig.fabric.host(0), rig.fabric.host(4), key,
+                   1'000'000, [&](FlowHandle&) { completed = true; });
+  f->start();
+  rig.sched.run();
+  EXPECT_TRUE(completed);
+  EXPECT_TRUE(f->complete());
+}
+
+}  // namespace
+}  // namespace conga::tcp

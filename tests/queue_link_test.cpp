@@ -1,0 +1,363 @@
+// Tests for the drop-tail queue and link transmission model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/scheduler.hpp"
+
+namespace conga::net {
+namespace {
+
+PacketPtr packet_of(std::uint32_t bytes) {
+  PacketPtr p = make_packet();
+  p->size_bytes = bytes;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q(1 << 20);
+  auto a = packet_of(100);
+  auto b = packet_of(200);
+  const auto ida = a->id;
+  const auto idb = b->id;
+  q.enqueue(std::move(a), 0);
+  q.enqueue(std::move(b), 0);
+  EXPECT_EQ(q.dequeue(1)->id, ida);
+  EXPECT_EQ(q.dequeue(2)->id, idb);
+  EXPECT_EQ(q.dequeue(3), nullptr);
+}
+
+TEST(DropTailQueue, ByteAccounting) {
+  DropTailQueue q(1000);
+  EXPECT_TRUE(q.enqueue(packet_of(400), 0));
+  EXPECT_TRUE(q.enqueue(packet_of(600), 0));
+  EXPECT_EQ(q.bytes(), 1000u);
+  EXPECT_EQ(q.packets(), 2u);
+  q.dequeue(1);
+  EXPECT_EQ(q.bytes(), 600u);
+}
+
+TEST(DropTailQueue, DropsWhenFull) {
+  DropTailQueue q(1000);
+  EXPECT_TRUE(q.enqueue(packet_of(900), 0));
+  EXPECT_FALSE(q.enqueue(packet_of(200), 0));  // would exceed capacity
+  EXPECT_EQ(q.stats().dropped_pkts, 1u);
+  EXPECT_EQ(q.stats().dropped_bytes, 200u);
+  // A packet that exactly fits still goes in.
+  EXPECT_TRUE(q.enqueue(packet_of(100), 0));
+}
+
+TEST(DropTailQueue, TracksMaxOccupancy) {
+  DropTailQueue q(10000);
+  q.enqueue(packet_of(4000), 0);
+  q.enqueue(packet_of(4000), 0);
+  q.dequeue(1);
+  q.dequeue(2);
+  EXPECT_EQ(q.stats().max_bytes_seen, 8000u);
+}
+
+TEST(DropTailQueue, TimeAverageIntegratesOccupancy) {
+  DropTailQueue q(1 << 20);
+  q.enqueue(packet_of(1000), 0);   // 1000 B over [0, 100)
+  q.dequeue(100);                  // 0 B over [100, 200)
+  EXPECT_NEAR(q.time_avg_bytes(200), 500.0, 1e-6);
+}
+
+/// Captures delivered packets with their arrival times.
+class SinkNode : public Node {
+ public:
+  void receive(PacketPtr pkt, int in_port) override {
+    arrivals.emplace_back(pkt->id, in_port);
+    sizes.push_back(pkt->size_bytes);
+  }
+  std::string name() const override { return "sink"; }
+  std::vector<std::pair<std::uint64_t, int>> arrivals;
+  std::vector<std::uint32_t> sizes;
+};
+
+LinkConfig test_link_cfg() {
+  LinkConfig cfg;
+  cfg.rate_bps = 1e9;  // 1 Gbps: 8 ns per byte, easy math
+  cfg.propagation_delay = sim::microseconds(2);
+  cfg.queue_capacity_bytes = 1 << 20;
+  return cfg;
+}
+
+TEST(Link, DeliversAfterSerializationPlusPropagation) {
+  sim::Scheduler sched;
+  SinkNode sink;
+  Link link(sched, "l", test_link_cfg());
+  link.connect_to(&sink, 7);
+  link.send(packet_of(1250));  // 1250 B * 8 / 1e9 = 10 us serialization
+  sched.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].second, 7);
+  EXPECT_EQ(sched.now(), sim::microseconds(12));  // 10 us ser + 2 us prop
+}
+
+TEST(Link, BackToBackPacketsSerializeSequentially) {
+  sim::Scheduler sched;
+  SinkNode sink;
+  Link link(sched, "l", test_link_cfg());
+  link.connect_to(&sink, 0);
+  link.send(packet_of(1250));
+  link.send(packet_of(1250));
+  std::vector<sim::TimeNs> times;
+  sched.schedule_at(sim::microseconds(12), [&] { times.push_back(sched.now()); });
+  sched.run();
+  // Second packet: starts at 10us, arrives at 22us.
+  EXPECT_EQ(sched.now(), sim::microseconds(22));
+  EXPECT_EQ(sink.arrivals.size(), 2u);
+}
+
+TEST(Link, PreservesOrder) {
+  sim::Scheduler sched;
+  SinkNode sink;
+  Link link(sched, "l", test_link_cfg());
+  link.connect_to(&sink, 0);
+  std::vector<std::uint64_t> sent_ids;
+  for (int i = 0; i < 20; ++i) {
+    auto p = packet_of(500);
+    sent_ids.push_back(p->id);
+    link.send(std::move(p));
+  }
+  sched.run();
+  ASSERT_EQ(sink.arrivals.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sink.arrivals[static_cast<size_t>(i)].first,
+              sent_ids[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(Link, ThroughputMatchesRate) {
+  sim::Scheduler sched;
+  SinkNode sink;
+  LinkConfig cfg = test_link_cfg();
+  cfg.queue_capacity_bytes = 4 << 20;  // hold the whole 1.25 MB burst
+  Link link(sched, "l", cfg);
+  link.connect_to(&sink, 0);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) link.send(packet_of(1250));
+  sched.run();
+  const double secs = sim::to_seconds(sched.now() - cfg.propagation_delay);
+  const double bps = n * 1250 * 8.0 / secs;
+  EXPECT_NEAR(bps / cfg.rate_bps, 1.0, 0.01);
+}
+
+TEST(Link, DropsOverflowInsteadOfQueueing) {
+  sim::Scheduler sched;
+  SinkNode sink;
+  LinkConfig cfg = test_link_cfg();
+  cfg.queue_capacity_bytes = 2500;  // room for 2 x 1250B
+  Link link(sched, "l", cfg);
+  link.connect_to(&sink, 0);
+  // First packet starts transmitting immediately (not queued), next two fill
+  // the queue, remaining two drop.
+  for (int i = 0; i < 5; ++i) link.send(packet_of(1250));
+  sched.run();
+  EXPECT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_EQ(link.queue().stats().dropped_pkts, 2u);
+}
+
+TEST(Link, CeMarkingOnFabricLinks) {
+  sim::Scheduler sched;
+  SinkNode sink;
+  LinkConfig cfg = test_link_cfg();
+  cfg.marks_ce = true;
+  Link link(sched, "l", cfg);
+  link.connect_to(&sink, 0);
+
+  // Prime the DRE to a high utilization.
+  link.dre().add(static_cast<std::uint32_t>(1e9 / 8 * 160e-6), 0);
+
+  auto p = packet_of(1000);
+  p->overlay.valid = true;
+  p->overlay.ce = 1;
+  link.send(std::move(p));
+
+  bool checked = false;
+  SinkNode* s = &sink;
+  sched.schedule_at(sim::milliseconds(1), [&checked, s] {
+    checked = !s->arrivals.empty();
+  });
+  sched.run();
+  EXPECT_TRUE(checked);
+  // CE must have been raised to the DRE's quantized level (> 1).
+  // We can't inspect the delivered packet via SinkNode easily, so re-check
+  // via a second packet with a fresh sink below.
+}
+
+/// Sink that records the CE values of delivered packets.
+class CeSink : public Node {
+ public:
+  void receive(PacketPtr pkt, int) override { ce.push_back(pkt->overlay.ce); }
+  std::string name() const override { return "ce-sink"; }
+  std::vector<std::uint8_t> ce;
+};
+
+TEST(Link, CeIsMaxOfPacketAndLink) {
+  sim::Scheduler sched;
+  CeSink sink;
+  LinkConfig cfg = test_link_cfg();
+  cfg.marks_ce = true;
+  Link link(sched, "l", cfg);
+  link.connect_to(&sink, 0);
+  link.dre().add(static_cast<std::uint32_t>(1e9 / 8 * 160e-6 / 2), 0);  // ~0.5
+
+  auto low = packet_of(100);
+  low->overlay.valid = true;
+  low->overlay.ce = 0;
+  auto high = packet_of(100);
+  high->overlay.valid = true;
+  high->overlay.ce = 7;
+  link.send(std::move(low));
+  link.send(std::move(high));
+  sched.run();
+  ASSERT_EQ(sink.ce.size(), 2u);
+  EXPECT_GE(sink.ce[0], 3);  // raised to link metric
+  EXPECT_EQ(sink.ce[1], 7);  // kept: packet already saw worse congestion
+}
+
+TEST(Link, CeSumAggregationAddsAndClamps) {
+  sim::Scheduler sched;
+  CeSink sink;
+  LinkConfig cfg = test_link_cfg();
+  cfg.marks_ce = true;
+  cfg.ce_sum = true;
+  Link link(sched, "l", cfg);
+  link.connect_to(&sink, 0);
+  link.dre().add(static_cast<std::uint32_t>(1e9 / 8 * 160e-6 / 2), 0);  // ~0.5
+
+  auto low = packet_of(100);
+  low->overlay.valid = true;
+  low->overlay.ce = 2;
+  auto high = packet_of(100);
+  high->overlay.valid = true;
+  high->overlay.ce = 6;
+  link.send(std::move(low));
+  link.send(std::move(high));
+  sched.run();
+  ASSERT_EQ(sink.ce.size(), 2u);
+  EXPECT_GE(sink.ce[0], 5);  // 2 + ~3..4
+  EXPECT_EQ(sink.ce[1], 7);  // clamped at the Q-bit maximum
+}
+
+TEST(Link, EdgeLinksDoNotMarkCe) {
+  sim::Scheduler sched;
+  CeSink sink;
+  LinkConfig cfg = test_link_cfg();
+  cfg.marks_ce = false;
+  Link link(sched, "l", cfg);
+  link.connect_to(&sink, 0);
+  link.dre().add(1 << 24, 0);  // very hot
+  auto p = packet_of(100);
+  p->overlay.valid = true;
+  p->overlay.ce = 0;
+  link.send(std::move(p));
+  sched.run();
+  ASSERT_EQ(sink.ce.size(), 1u);
+  EXPECT_EQ(sink.ce[0], 0);
+}
+
+TEST(DropTailQueue, EcnMarksAboveThreshold) {
+  DropTailQueue q(1 << 20, /*ecn_threshold_bytes=*/2000);
+  auto a = packet_of(1500);
+  net::Packet* pa = a.get();
+  q.enqueue(std::move(a), 0);
+  EXPECT_FALSE(pa->ecn_ce) << "below threshold";
+  auto b = packet_of(1500);
+  net::Packet* pb = b.get();
+  q.enqueue(std::move(b), 0);
+  EXPECT_FALSE(pb->ecn_ce) << "occupancy 1500 <= 2000 at enqueue";
+  auto c = packet_of(1500);
+  net::Packet* pc = c.get();
+  q.enqueue(std::move(c), 0);
+  EXPECT_TRUE(pc->ecn_ce) << "occupancy 3000 > 2000 at enqueue";
+  EXPECT_EQ(q.stats().ecn_marked_pkts, 1u);
+}
+
+TEST(DropTailQueue, EcnDisabledByDefault) {
+  DropTailQueue q(1 << 20);
+  for (int i = 0; i < 100; ++i) q.enqueue(packet_of(1500), 0);
+  EXPECT_EQ(q.stats().ecn_marked_pkts, 0u);
+}
+
+TEST(Link, DownLinkBlackholes) {
+  sim::Scheduler sched;
+  SinkNode sink;
+  Link link(sched, "l", test_link_cfg());
+  link.connect_to(&sink, 0);
+  link.set_up(false);
+  link.send(packet_of(100));
+  sched.run();
+  EXPECT_TRUE(sink.arrivals.empty());
+}
+
+TEST(SharedBufferPool, DynamicLimitShrinksWithUse) {
+  SharedBufferPool pool(1000, 1.0);
+  EXPECT_EQ(pool.dynamic_limit(), 1000u);
+  pool.reserve(400);
+  EXPECT_EQ(pool.dynamic_limit(), 600u);
+  pool.release(400);
+  EXPECT_EQ(pool.dynamic_limit(), 1000u);
+}
+
+TEST(SharedBufferPool, AlphaScalesHeadroom) {
+  SharedBufferPool pool(1000, 2.0);
+  pool.reserve(600);
+  EXPECT_EQ(pool.dynamic_limit(), 800u);  // 2 * 400 free
+}
+
+TEST(SharedBufferPool, OneHotQueueTakesMostOfThePool) {
+  // With alpha=1 a single queue converges to total/2; with alpha=2, to 2/3.
+  SharedBufferPool pool(900, 2.0);
+  DropTailQueue q(1 << 30, 0, &pool);
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto p = packet_of(100);
+    if (!q.enqueue(std::move(p), 0)) break;
+    accepted += 100;
+  }
+  EXPECT_NEAR(static_cast<double>(accepted), 600.0, 100.0);
+}
+
+TEST(SharedBufferPool, TwoQueuesSqueezeEachOther) {
+  SharedBufferPool pool(1200, 1.0);
+  DropTailQueue a(1 << 30, 0, &pool);
+  DropTailQueue b(1 << 30, 0, &pool);
+  // Alternate enqueues until both saturate.
+  for (int i = 0; i < 200; ++i) {
+    a.enqueue(packet_of(100), 0);
+    b.enqueue(packet_of(100), 0);
+  }
+  // Equilibrium: each holds ~total/3 with alpha=1 (limit = free = T - 2q).
+  EXPECT_NEAR(static_cast<double>(a.bytes()), 400.0, 120.0);
+  EXPECT_NEAR(static_cast<double>(b.bytes()), 400.0, 120.0);
+  // Dequeuing from one frees headroom for the other.
+  const auto before = pool.dynamic_limit();
+  for (int i = 0; i < 3; ++i) a.dequeue(1);
+  EXPECT_GT(pool.dynamic_limit(), before);
+}
+
+TEST(SharedBufferPool, StaticCapStillApplies) {
+  SharedBufferPool pool(1 << 20, 8.0);
+  DropTailQueue q(500, 0, &pool);  // hard per-port cap dominates
+  EXPECT_TRUE(q.enqueue(packet_of(400), 0));
+  EXPECT_FALSE(q.enqueue(packet_of(400), 0));
+}
+
+TEST(Link, SerializationDelayHelper) {
+  sim::Scheduler sched;
+  SinkNode sink;
+  LinkConfig cfg;
+  cfg.rate_bps = 40e9;
+  Link link(sched, "l", cfg);
+  EXPECT_EQ(link.serialization_delay(1500), 1500 * 8 / 40);  // 300 ns
+}
+
+}  // namespace
+}  // namespace conga::net

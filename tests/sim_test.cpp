@@ -1,0 +1,220 @@
+// Tests for the discrete-event scheduler and RNG utilities.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace conga::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler sched;
+  EXPECT_EQ(sched.now(), 0);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Scheduler, FiresEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30, [&] { order.push_back(3); });
+  sched.schedule_at(10, [&] { order.push_back(1); });
+  sched.schedule_at(20, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30);
+}
+
+TEST(Scheduler, EqualTimestampsFireInScheduleOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, NowAdvancesToEventTime) {
+  Scheduler sched;
+  TimeNs seen = -1;
+  sched.schedule_at(123456, [&] { seen = sched.now(); });
+  sched.run();
+  EXPECT_EQ(seen, 123456);
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  Scheduler sched;
+  TimeNs seen = -1;
+  sched.schedule_at(100, [&] {
+    sched.schedule_after(50, [&] { seen = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler sched;
+  TimeNs seen = -1;
+  sched.schedule_at(100, [&] {
+    sched.schedule_at(10, [&] { seen = sched.now(); });  // in the past
+  });
+  sched.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Scheduler, CancelPreventsDispatch) {
+  Scheduler sched;
+  bool fired = false;
+  const EventId id = sched.schedule_at(10, [&] { fired = true; });
+  sched.cancel(id);
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelInvalidIdIsNoop) {
+  Scheduler sched;
+  sched.cancel(kInvalidEventId);
+  sched.cancel(9999);  // never allocated
+  bool fired = false;
+  sched.schedule_at(1, [&] { fired = true; });
+  sched.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, CancelAfterFireIsNoop) {
+  Scheduler sched;
+  const EventId id = sched.schedule_at(1, [] {});
+  sched.run();
+  sched.cancel(id);  // already fired
+  SUCCEED();
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Scheduler sched;
+  int count = 0;
+  sched.schedule_at(10, [&] { ++count; });
+  sched.schedule_at(20, [&] { ++count; });
+  sched.schedule_at(30, [&] { ++count; });
+  sched.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sched.now(), 20);
+  sched.run_until(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sched.now(), 100);
+}
+
+TEST(Scheduler, StopHaltsRun) {
+  Scheduler sched;
+  int count = 0;
+  sched.schedule_at(1, [&] {
+    ++count;
+    sched.stop();
+  });
+  sched.schedule_at(2, [&] { ++count; });
+  sched.run();
+  EXPECT_EQ(count, 1);
+  sched.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sched.schedule_after(1, recurse);
+  };
+  sched.schedule_at(0, recurse);
+  sched.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sched.now(), 99);
+}
+
+TEST(Scheduler, DispatchCountTracksEvents) {
+  Scheduler sched;
+  for (int i = 0; i < 7; ++i) sched.schedule_at(i, [] {});
+  sched.run();
+  EXPECT_EQ(sched.events_dispatched(), 7u);
+}
+
+TEST(Scheduler, MoveOnlyCaptureIsSupported) {
+  Scheduler sched;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  sched.schedule_at(1, [p = std::move(payload), &seen] { seen = *p; });
+  sched.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Scheduler, CancelledHeadSkippedByRunUntil) {
+  Scheduler sched;
+  bool fired_a = false, fired_b = false;
+  const EventId a = sched.schedule_at(5, [&] { fired_a = true; });
+  sched.schedule_at(10, [&] { fired_b = true; });
+  sched.cancel(a);
+  sched.run_until(10);
+  EXPECT_FALSE(fired_a);
+  EXPECT_TRUE(fired_b);
+}
+
+TEST(Rng, DeterministicWithSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1 << 30) == b.uniform_int(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(13);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[rng.index(10)];
+  for (int h : hits) EXPECT_GT(h, 800);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // The child stream should not replicate the parent stream.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.uniform_int(0, 1 << 30) == child.uniform_int(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Shuffle, PermutesAllElements) {
+  Rng rng(17);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  shuffle(v, rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace conga::sim

@@ -1,0 +1,183 @@
+// Tests for summary statistics, FCT accounting, and the periodic samplers.
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+#include "stats/fct_collector.hpp"
+#include "stats/samplers.hpp"
+#include "stats/summary.hpp"
+
+namespace conga::stats {
+namespace {
+
+TEST(Summary, MeanAndStddev) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0);
+  EXPECT_TRUE(s.cdf_points(10).empty());
+}
+
+TEST(Summary, PercentilesInterpolate) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.median(), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(90), 90.1, 0.2);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100);
+}
+
+TEST(Summary, CdfAtCountsInclusive) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(Summary, CdfPointsSpanRange) {
+  Summary s;
+  for (int i = 0; i < 1000; ++i) s.add(i);
+  const auto pts = s.cdf_points(11);
+  ASSERT_EQ(pts.size(), 11u);
+  EXPECT_DOUBLE_EQ(pts.front().first, 0);
+  EXPECT_DOUBLE_EQ(pts.back().first, 999);
+  EXPECT_NEAR(pts.back().second, 1.0, 1e-9);
+}
+
+TEST(FctCollector, NormalizedFct) {
+  FctCollector c;
+  c.record(1000, 200, 100);   // 2x optimal
+  c.record(2000, 400, 100);   // 4x optimal
+  EXPECT_DOUBLE_EQ(c.avg_normalized_fct(), 3.0);
+}
+
+TEST(FctCollector, SizeBuckets) {
+  FctCollector c;
+  c.record(50'000, sim::milliseconds(1), 100);      // small
+  c.record(500'000, sim::milliseconds(10), 100);    // mid
+  c.record(50'000'000, sim::milliseconds(100), 100);  // large
+  EXPECT_EQ(c.count_in(0, FctCollector::kSmallFlowBytes), 1u);
+  EXPECT_EQ(c.count_in(FctCollector::kLargeFlowBytes, UINT64_MAX), 1u);
+  EXPECT_NEAR(c.avg_fct_small(), 1e-3, 1e-9);
+  EXPECT_NEAR(c.avg_fct_large(), 0.1, 1e-9);
+  EXPECT_NEAR(c.avg_fct_overall(), (0.001 + 0.01 + 0.1) / 3, 1e-9);
+}
+
+TEST(FctCollector, P99Normalized) {
+  FctCollector c;
+  for (int i = 0; i < 99; ++i) c.record(1000, 100, 100);  // 1x
+  c.record(1000, 10000, 100);                             // 100x outlier
+  // p99 interpolates between the 99th sample (1x) and the outlier (100x).
+  EXPECT_GT(c.p99_normalized_fct(), 1.5);
+}
+
+TEST(QueueSampler, SamplesOccupancy) {
+  sim::Scheduler sched;
+  net::LinkConfig cfg;
+  cfg.rate_bps = 1e9;
+  net::Link link(sched, "l", cfg);
+  // No destination needed: we never send, just sample an idle queue.
+  QueueSampler sampler(sched, &link, sim::microseconds(100), 0,
+                       sim::milliseconds(1));
+  sched.run();
+  EXPECT_GE(sampler.occupancy_bytes().count(), 10u);
+  EXPECT_DOUBLE_EQ(sampler.occupancy_bytes().max(), 0.0);
+}
+
+/// Node that drops everything (endpoint for sampler tests).
+class NullNode : public net::Node {
+ public:
+  void receive(net::PacketPtr, int) override {}
+  std::string name() const override { return "null"; }
+};
+
+TEST(ImbalanceSampler, EqualLoadGivesLowImbalance) {
+  sim::Scheduler sched;
+  NullNode sink;
+  net::LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  net::Link a(sched, "a", cfg), b(sched, "b", cfg);
+  a.connect_to(&sink, 0);
+  b.connect_to(&sink, 0);
+  ThroughputImbalanceSampler sampler(sched, {&a, &b}, sim::milliseconds(1), 0,
+                                     sim::milliseconds(10));
+  // Equal packet streams on both links.
+  for (int i = 0; i < 1000; ++i) {
+    sched.schedule_at(sim::microseconds(10) * i, [&a, &b] {
+      auto pa = net::make_packet();
+      pa->size_bytes = 1000;
+      a.send(std::move(pa));
+      auto pb = net::make_packet();
+      pb->size_bytes = 1000;
+      b.send(std::move(pb));
+    });
+  }
+  sched.run();
+  ASSERT_GT(sampler.imbalance_pct().count(), 5u);
+  EXPECT_LT(sampler.imbalance_pct().mean(), 1.0);
+}
+
+TEST(ImbalanceSampler, SkewedLoadGivesHighImbalance) {
+  sim::Scheduler sched;
+  NullNode sink;
+  net::LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  net::Link a(sched, "a", cfg), b(sched, "b", cfg);
+  a.connect_to(&sink, 0);
+  b.connect_to(&sink, 0);
+  ThroughputImbalanceSampler sampler(sched, {&a, &b}, sim::milliseconds(1), 0,
+                                     sim::milliseconds(10));
+  for (int i = 0; i < 1000; ++i) {
+    sched.schedule_at(sim::microseconds(10) * i, [&a, &b, i] {
+      auto pa = net::make_packet();
+      pa->size_bytes = 1000;
+      a.send(std::move(pa));
+      if (i % 3 == 0) {  // b gets a third of the traffic
+        auto pb = net::make_packet();
+        pb->size_bytes = 1000;
+        b.send(std::move(pb));
+      }
+    });
+  }
+  sched.run();
+  // (max-min)/avg with loads 1 and 1/3: (1 - 1/3) / (2/3) = 100%.
+  EXPECT_NEAR(sampler.imbalance_pct().mean(), 100.0, 15.0);
+}
+
+TEST(ImbalanceSampler, MeanThroughputPerLink) {
+  sim::Scheduler sched;
+  NullNode sink;
+  net::LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  net::Link a(sched, "a", cfg), b(sched, "b", cfg);
+  a.connect_to(&sink, 0);
+  b.connect_to(&sink, 0);
+  ThroughputImbalanceSampler sampler(sched, {&a, &b}, sim::milliseconds(1), 0,
+                                     sim::milliseconds(10));
+  // 1000 x 1000B on a over 10ms = 0.8 Gbps.
+  for (int i = 0; i < 1000; ++i) {
+    sched.schedule_at(sim::microseconds(10) * i, [&a] {
+      auto p = net::make_packet();
+      p->size_bytes = 1000;
+      a.send(std::move(p));
+    });
+  }
+  sched.run_until(sim::milliseconds(10));
+  const auto tputs = sampler.mean_throughput_bps();
+  ASSERT_EQ(tputs.size(), 2u);
+  EXPECT_NEAR(tputs[0], 0.8e9, 0.05e9);
+  EXPECT_NEAR(tputs[1], 0.0, 1.0);
+}
+
+}  // namespace
+}  // namespace conga::stats

@@ -1,0 +1,208 @@
+// Tests for topology configuration, validation, and fabric wiring.
+#include <gtest/gtest.h>
+
+#include "lb/factories.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+
+namespace conga::net {
+namespace {
+
+TEST(TopologyConfig, BaselineMatchesPaperTestbed) {
+  const TopologyConfig cfg = testbed_baseline();
+  EXPECT_EQ(cfg.num_leaves, 2);
+  EXPECT_EQ(cfg.num_spines, 2);
+  EXPECT_EQ(cfg.hosts_per_leaf, 32);
+  EXPECT_EQ(cfg.uplinks_per_leaf(), 4);  // 2 spines x 2 parallel 40G links
+  EXPECT_DOUBLE_EQ(cfg.host_link_bps, 10e9);
+  EXPECT_DOUBLE_EQ(cfg.fabric_link_bps, 40e9);
+  // 2:1 oversubscription: 32 x 10G hosts vs 4 x 40G uplinks.
+  EXPECT_DOUBLE_EQ(cfg.hosts_per_leaf * cfg.host_link_bps /
+                       cfg.leaf_uplink_capacity_bps(),
+                   2.0);
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(TopologyConfig, LinkFailureVariantDropsOneLink) {
+  const TopologyConfig cfg = testbed_link_failure();
+  ASSERT_EQ(cfg.overrides.size(), 1u);
+  EXPECT_EQ(cfg.overrides[0].leaf, 1);
+  EXPECT_EQ(cfg.overrides[0].spine, 1);
+  EXPECT_DOUBLE_EQ(cfg.overrides[0].rate_factor, 0.0);
+}
+
+TEST(TopologyConfig, ValidationCatchesBadValues) {
+  TopologyConfig cfg = testbed_baseline();
+  cfg.num_leaves = 0;
+  EXPECT_FALSE(cfg.validate().empty());
+
+  cfg = testbed_baseline();
+  cfg.num_spines = 9;
+  cfg.links_per_spine = 2;  // 18 uplinks > 4-bit LBTag space
+  EXPECT_FALSE(cfg.validate().empty());
+
+  cfg = testbed_baseline();
+  cfg.overrides.push_back({5, 0, 0, 0.0});  // leaf out of range
+  EXPECT_FALSE(cfg.validate().empty());
+
+  cfg = testbed_baseline();
+  cfg.overrides.push_back({0, 0, 0, -1.0});  // negative factor
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(Fabric, RejectsInvalidConfig) {
+  sim::Scheduler sched;
+  TopologyConfig cfg = testbed_baseline();
+  cfg.hosts_per_leaf = 0;
+  EXPECT_THROW(Fabric(sched, cfg), std::invalid_argument);
+}
+
+TEST(Fabric, WiresExpectedCounts) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, testbed_baseline());
+  EXPECT_EQ(fabric.num_hosts(), 64);
+  EXPECT_EQ(fabric.num_leaves(), 2);
+  EXPECT_EQ(fabric.num_spines(), 2);
+  EXPECT_EQ(fabric.leaf(0).uplinks().size(), 4u);
+  EXPECT_EQ(fabric.leaf(1).uplinks().size(), 4u);
+  // 2 leaves x 2 spines x 2 parallel x 2 directions = 16 fabric links.
+  EXPECT_EQ(fabric.fabric_links().size(), 16u);
+}
+
+TEST(Fabric, DirectoryMapsHostsToLeaves) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, testbed_baseline());
+  for (int h = 0; h < 32; ++h) EXPECT_EQ(fabric.leaf_of(h), 0);
+  for (int h = 32; h < 64; ++h) EXPECT_EQ(fabric.leaf_of(h), 1);
+}
+
+TEST(Fabric, FailedLinkRemovedFromForwarding) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, testbed_link_failure());
+  EXPECT_EQ(fabric.leaf(1).uplinks().size(), 3u);  // one uplink gone
+  EXPECT_EQ(fabric.leaf(0).uplinks().size(), 4u);  // untouched
+  EXPECT_EQ(fabric.down_link(1, 1, 1), nullptr);   // spine side too
+  EXPECT_NE(fabric.down_link(1, 1, 0), nullptr);
+  // 16 - 2 (one pair, both directions).
+  EXPECT_EQ(fabric.fabric_links().size(), 14u);
+}
+
+TEST(Fabric, DegradedLinkKeepsReducedRate) {
+  sim::Scheduler sched;
+  TopologyConfig cfg = testbed_baseline();
+  cfg.overrides.push_back({1, 1, 0, 0.5});
+  Fabric fabric(sched, cfg);
+  EXPECT_EQ(fabric.leaf(1).uplinks().size(), 4u);  // still forwarding
+  // Find the degraded uplink (spine 1).
+  double degraded_rate = 0;
+  for (const auto& up : fabric.leaf(1).uplinks()) {
+    if (up.spine == 1) degraded_rate = up.link->rate_bps();
+    if (up.spine == 1) break;
+  }
+  EXPECT_DOUBLE_EQ(degraded_rate, 20e9);
+}
+
+TEST(Fabric, IntraLeafTrafficBypassesFabric) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, testbed_baseline());
+  fabric.install_lb(lb::ecmp());
+  PacketPtr p = make_packet();
+  p->flow.src_host = 0;
+  p->flow.dst_host = 1;  // same leaf
+  p->flow.src_port = 5;
+  p->flow.dst_port = 6;
+  p->size_bytes = 1000;
+  std::uint64_t received = 0;
+  fabric.host(1).set_default_handler(
+      [&](PacketPtr pkt) { received = pkt->size_bytes; });
+  fabric.host(0).send(std::move(p));
+  sched.run();
+  EXPECT_EQ(received, 1000u);
+  EXPECT_EQ(fabric.leaf(0).packets_to_fabric(), 0u);
+}
+
+TEST(Fabric, InterLeafTrafficEncapsulatesAndDelivers) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, testbed_baseline());
+  fabric.install_lb(lb::ecmp());
+  PacketPtr p = make_packet();
+  p->flow.src_host = 0;
+  p->flow.dst_host = 40;  // leaf 1
+  p->flow.src_port = 5;
+  p->flow.dst_port = 6;
+  p->size_bytes = 1000;
+  bool got = false;
+  fabric.host(40).set_default_handler([&](PacketPtr pkt) {
+    got = true;
+    EXPECT_FALSE(pkt->overlay.valid) << "must be decapsulated at the leaf";
+    EXPECT_EQ(pkt->size_bytes, 1000u) << "overlay bytes stripped";
+  });
+  fabric.host(0).send(std::move(p));
+  sched.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(fabric.leaf(0).packets_to_fabric(), 1u);
+  EXPECT_EQ(fabric.leaf(1).packets_from_fabric(), 1u);
+}
+
+TEST(Fabric, AckTravelsToWireDestination) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, testbed_baseline());
+  fabric.install_lb(lb::ecmp());
+  // ACK of flow (host0 -> host40) travels 40 -> 0.
+  PacketPtr ack = make_packet();
+  ack->flow.src_host = 0;
+  ack->flow.dst_host = 40;
+  ack->flow.src_port = 5;
+  ack->flow.dst_port = 6;
+  ack->tcp.is_ack = true;
+  ack->size_bytes = kAckBytes;
+  bool got = false;
+  fabric.host(0).set_default_handler([&](PacketPtr) { got = true; });
+  fabric.host(40).send(std::move(ack));
+  sched.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(Fabric, BaseRttIsPlausible) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, testbed_baseline());
+  const sim::TimeNs rtt = fabric.base_rtt(1500);
+  // 4 hops each way with ~1us propagation + serialization: single-digit us.
+  EXPECT_GT(rtt, sim::microseconds(5));
+  EXPECT_LT(rtt, sim::microseconds(30));
+}
+
+TEST(Fabric, SpineEcmpSpreadsAcrossParallelLinks) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, testbed_baseline());
+  fabric.install_lb(lb::ecmp());
+  // Many distinct flows leaf0 -> leaf1; both parallel links of each spine
+  // should carry traffic.
+  for (int i = 0; i < 400; ++i) {
+    PacketPtr p = make_packet();
+    p->flow.src_host = i % 32;
+    p->flow.dst_host = 32 + (i % 32);
+    p->flow.src_port = static_cast<std::uint16_t>(i);
+    p->flow.dst_port = 80;
+    p->size_bytes = 1000;
+    fabric.host(p->flow.src_host).send(std::move(p));
+  }
+  sched.run();
+  for (int s = 0; s < 2; ++s) {
+    for (int par = 0; par < 2; ++par) {
+      EXPECT_GT(fabric.down_link(s, 1, par)->packets_sent(), 10u)
+          << "spine " << s << " parallel " << par;
+    }
+  }
+}
+
+TEST(Fabric, HostLinksHaveConfiguredQueues) {
+  sim::Scheduler sched;
+  TopologyConfig cfg = testbed_baseline();
+  cfg.edge_queue_bytes = 123456;
+  Fabric fabric(sched, cfg);
+  EXPECT_EQ(fabric.leaf_to_host(0)->queue().capacity_bytes(), 123456u);
+}
+
+}  // namespace
+}  // namespace conga::net

@@ -1,0 +1,241 @@
+// conga_sim — command-line driver for the fabric simulator.
+//
+// Runs one experiment cell from flags and prints an FCT summary plus a
+// per-uplink utilization table, e.g.:
+//
+//   conga_sim --topology failure --lb conga --workload enterprise
+//             --load 0.6 --duration-ms 100
+//   conga_sim --leaves 4 --spines 3 --hosts 16 --fail 1:2:0
+//             --lb ecmp --workload fixed:500000 --load 0.5
+//
+// Flags:
+//   --topology baseline|failure      preset testbed topologies (Fig 7)
+//   --leaves N --spines N --hosts N --parallel N   custom Leaf-Spine
+//   --fail L:S:P[:factor]            fail (or degrade) a leaf-spine link
+//   --lb ecmp|conga|conga-flow|spray|local|local-eq|weighted
+//   --workload enterprise|data-mining|web-search|fixed:BYTES
+//   --transport tcp|mptcp|dctcp      (dctcp implies --ecn-kb 100 default)
+//   --load F --duration-ms N --warmup-ms N --seed N --min-rto-ms N
+//   --subflows N (mptcp) --ecn-kb N --shared-buffer-mb N
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lb/factories.hpp"
+#include "stats/samplers.hpp"
+#include "tcp/mptcp_connection.hpp"
+#include "workload/experiment.hpp"
+#include "workload/traffic_gen.hpp"
+
+using namespace conga;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "conga_sim: %s\n(see the header of tools/conga_sim.cpp "
+               "for flag documentation)\n", msg);
+  std::exit(2);
+}
+
+struct Options {
+  std::string topology = "baseline";
+  int leaves = -1, spines = -1, hosts = -1, parallel = -1;
+  std::vector<net::LinkOverride> fails;
+  std::string lb = "conga";
+  std::string workload = "enterprise";
+  std::string transport = "tcp";
+  double load = 0.6;
+  int duration_ms = 100;
+  int warmup_ms = 10;
+  int min_rto_ms = 10;
+  int subflows = 8;
+  int ecn_kb = 0;
+  int shared_buffer_mb = 0;
+  std::uint64_t seed = 1;
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("flag needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--topology") {
+      o.topology = need(i);
+    } else if (a == "--leaves") {
+      o.leaves = std::atoi(need(i));
+    } else if (a == "--spines") {
+      o.spines = std::atoi(need(i));
+    } else if (a == "--hosts") {
+      o.hosts = std::atoi(need(i));
+    } else if (a == "--parallel") {
+      o.parallel = std::atoi(need(i));
+    } else if (a == "--fail") {
+      net::LinkOverride ov;
+      ov.rate_factor = 0.0;
+      double factor = 0.0;
+      const char* spec = need(i);
+      const int n = std::sscanf(spec, "%d:%d:%d:%lf", &ov.leaf, &ov.spine,
+                                &ov.parallel, &factor);
+      if (n < 3) usage("--fail expects L:S:P[:factor]");
+      if (n == 4) ov.rate_factor = factor;
+      o.fails.push_back(ov);
+    } else if (a == "--lb") {
+      o.lb = need(i);
+    } else if (a == "--workload") {
+      o.workload = need(i);
+    } else if (a == "--transport") {
+      o.transport = need(i);
+    } else if (a == "--load") {
+      o.load = std::atof(need(i));
+    } else if (a == "--duration-ms") {
+      o.duration_ms = std::atoi(need(i));
+    } else if (a == "--warmup-ms") {
+      o.warmup_ms = std::atoi(need(i));
+    } else if (a == "--min-rto-ms") {
+      o.min_rto_ms = std::atoi(need(i));
+    } else if (a == "--subflows") {
+      o.subflows = std::atoi(need(i));
+    } else if (a == "--ecn-kb") {
+      o.ecn_kb = std::atoi(need(i));
+    } else if (a == "--shared-buffer-mb") {
+      o.shared_buffer_mb = std::atoi(need(i));
+    } else if (a == "--seed") {
+      o.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--help" || a == "-h") {
+      usage("usage");
+    } else {
+      usage(("unknown flag: " + a).c_str());
+    }
+  }
+  return o;
+}
+
+net::Fabric::LbFactory make_lb(const std::string& name) {
+  if (name == "ecmp") return lb::ecmp();
+  if (name == "conga") return core::conga();
+  if (name == "conga-flow") return core::conga_flow();
+  if (name == "spray") return lb::spray();
+  if (name == "local") return lb::local_aware();
+  if (name == "local-eq") return lb::local_equal();
+  if (name == "weighted") return lb::weighted({1.0, 1.0});
+  usage(("unknown --lb: " + name).c_str());
+}
+
+workload::FlowSizeDist make_dist(const std::string& name) {
+  if (name == "enterprise") return workload::enterprise();
+  if (name == "data-mining") return workload::data_mining();
+  if (name == "web-search") return workload::web_search();
+  if (name.rfind("fixed:", 0) == 0) {
+    return workload::fixed_size(std::atof(name.c_str() + 6));
+  }
+  usage(("unknown --workload: " + name).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  net::TopologyConfig topo;
+  if (o.topology == "baseline") {
+    topo = net::testbed_baseline();
+  } else if (o.topology == "failure") {
+    topo = net::testbed_link_failure();
+  } else if (o.topology == "custom") {
+    // keep defaults; fields below override
+  } else {
+    usage(("unknown --topology: " + o.topology).c_str());
+  }
+  if (o.leaves > 0) topo.num_leaves = o.leaves;
+  if (o.spines > 0) topo.num_spines = o.spines;
+  if (o.hosts > 0) topo.hosts_per_leaf = o.hosts;
+  if (o.parallel > 0) topo.links_per_spine = o.parallel;
+  for (const auto& f : o.fails) topo.overrides.push_back(f);
+  if (o.ecn_kb > 0) {
+    topo.ecn_threshold_bytes = static_cast<std::uint64_t>(o.ecn_kb) * 1000;
+  }
+  if (o.shared_buffer_mb > 0) {
+    topo.shared_buffer_bytes =
+        static_cast<std::uint64_t>(o.shared_buffer_mb) * 1024 * 1024;
+    topo.edge_queue_bytes = topo.shared_buffer_bytes;
+    topo.fabric_queue_bytes = topo.shared_buffer_bytes;
+  }
+
+  tcp::TcpConfig t;
+  t.min_rto = sim::milliseconds(o.min_rto_ms);
+  tcp::FlowFactory transport;
+  if (o.transport == "tcp") {
+    transport = tcp::make_tcp_flow_factory(t);
+  } else if (o.transport == "dctcp") {
+    t.dctcp = true;
+    if (topo.ecn_threshold_bytes == 0) topo.ecn_threshold_bytes = 100'000;
+    transport = tcp::make_tcp_flow_factory(t);
+  } else if (o.transport == "mptcp") {
+    tcp::MptcpConfig m;
+    m.tcp = t;
+    m.num_subflows = o.subflows;
+    transport = tcp::make_mptcp_flow_factory(m);
+  } else {
+    usage(("unknown --transport: " + o.transport).c_str());
+  }
+
+  // Build + run, keeping the fabric around for the utilization report.
+  sim::Scheduler sched;
+  net::Fabric fabric(sched, topo, o.seed);
+  fabric.install_lb(make_lb(o.lb));
+  workload::TrafficGenConfig gc;
+  gc.load = o.load;
+  gc.stop = sim::milliseconds(o.warmup_ms + o.duration_ms);
+  gc.measure_start = sim::milliseconds(o.warmup_ms);
+  gc.measure_stop = gc.stop;
+  gc.seed = o.seed * 31 + 7;
+  workload::TrafficGenerator gen(fabric, transport, make_dist(o.workload), gc);
+  gen.start();
+  const bool drained =
+      workload::run_with_drain(sched, gen, gc.stop, sim::seconds(5.0));
+
+  std::printf("topology %s: %d leaves x %d spines x %d links, %d hosts/leaf",
+              o.topology.c_str(), topo.num_leaves, topo.num_spines,
+              topo.links_per_spine, topo.hosts_per_leaf);
+  if (!topo.overrides.empty()) {
+    std::printf(", %zu link overrides", topo.overrides.size());
+  }
+  std::printf("\nscheme %s, transport %s, workload %s @ %.0f%% load, "
+              "%d ms window\n\n",
+              o.lb.c_str(), o.transport.c_str(), o.workload.c_str(),
+              o.load * 100, o.duration_ms);
+
+  const auto& c = gen.collector();
+  std::printf("flows measured:        %zu (%s)\n", c.count(),
+              drained ? "all completed" : "NOT all completed before drain cap");
+  std::printf("avg FCT / optimal:     %.2f\n", c.avg_normalized_fct());
+  std::printf("median FCT / optimal:  %.2f\n", c.median_normalized_fct());
+  std::printf("p99 FCT / optimal:     %.2f\n", c.p99_normalized_fct());
+  std::printf("avg FCT small flows:   %.1f us\n", c.avg_fct_small() * 1e6);
+  std::printf("avg FCT large flows:   %.1f ms\n", c.avg_fct_large() * 1e3);
+
+  std::printf("\nper-leaf uplink utilization (delivered bits / capacity, "
+              "whole run):\n");
+  const double secs = sim::to_seconds(sched.now());
+  for (int l = 0; l < fabric.num_leaves(); ++l) {
+    std::printf("  leaf%-3d", l);
+    for (const auto& up : fabric.leaf(l).uplinks()) {
+      std::printf(" %5.2f",
+                  static_cast<double>(up.link->bytes_sent()) * 8 / secs /
+                      up.link->rate_bps());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nfabric drops: ");
+  std::uint64_t drops = 0;
+  for (const net::Link* l : fabric.fabric_links()) {
+    drops += l->queue().stats().dropped_pkts;
+  }
+  std::printf("%llu packets\n", static_cast<unsigned long long>(drops));
+  return 0;
+}
