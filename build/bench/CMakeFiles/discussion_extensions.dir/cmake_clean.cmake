@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discussion_extensions.dir/discussion_extensions.cpp.o"
+  "CMakeFiles/discussion_extensions.dir/discussion_extensions.cpp.o.d"
+  "discussion_extensions"
+  "discussion_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

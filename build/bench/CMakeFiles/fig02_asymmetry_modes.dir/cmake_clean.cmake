@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_asymmetry_modes.dir/fig02_asymmetry_modes.cpp.o"
+  "CMakeFiles/fig02_asymmetry_modes.dir/fig02_asymmetry_modes.cpp.o.d"
+  "fig02_asymmetry_modes"
+  "fig02_asymmetry_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_asymmetry_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_traffic_matrix.dir/fig03_traffic_matrix.cpp.o"
+  "CMakeFiles/fig03_traffic_matrix.dir/fig03_traffic_matrix.cpp.o.d"
+  "fig03_traffic_matrix"
+  "fig03_traffic_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_traffic_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

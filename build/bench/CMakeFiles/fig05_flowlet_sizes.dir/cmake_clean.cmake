@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_flowlet_sizes.dir/fig05_flowlet_sizes.cpp.o"
+  "CMakeFiles/fig05_flowlet_sizes.dir/fig05_flowlet_sizes.cpp.o.d"
+  "fig05_flowlet_sizes"
+  "fig05_flowlet_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_flowlet_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

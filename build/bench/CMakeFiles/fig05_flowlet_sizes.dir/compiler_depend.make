@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_flowlet_sizes.
+# This may be replaced when dependencies are built.

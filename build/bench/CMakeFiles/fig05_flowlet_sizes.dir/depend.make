@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_flowlet_sizes.
+# This may be replaced when dependencies are built.

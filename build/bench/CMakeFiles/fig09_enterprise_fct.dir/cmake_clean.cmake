@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_enterprise_fct.dir/fig09_enterprise_fct.cpp.o"
+  "CMakeFiles/fig09_enterprise_fct.dir/fig09_enterprise_fct.cpp.o.d"
+  "fig09_enterprise_fct"
+  "fig09_enterprise_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_enterprise_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

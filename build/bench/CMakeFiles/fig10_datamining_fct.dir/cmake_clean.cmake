@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_datamining_fct.dir/fig10_datamining_fct.cpp.o"
+  "CMakeFiles/fig10_datamining_fct.dir/fig10_datamining_fct.cpp.o.d"
+  "fig10_datamining_fct"
+  "fig10_datamining_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_datamining_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

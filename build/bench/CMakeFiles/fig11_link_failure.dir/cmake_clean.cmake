@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_link_failure.dir/fig11_link_failure.cpp.o"
+  "CMakeFiles/fig11_link_failure.dir/fig11_link_failure.cpp.o.d"
+  "fig11_link_failure"
+  "fig11_link_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_link_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

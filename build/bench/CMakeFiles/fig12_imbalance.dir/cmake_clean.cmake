@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_imbalance.dir/fig12_imbalance.cpp.o"
+  "CMakeFiles/fig12_imbalance.dir/fig12_imbalance.cpp.o.d"
+  "fig12_imbalance"
+  "fig12_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

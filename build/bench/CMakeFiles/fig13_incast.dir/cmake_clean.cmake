@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_incast.dir/fig13_incast.cpp.o"
+  "CMakeFiles/fig13_incast.dir/fig13_incast.cpp.o.d"
+  "fig13_incast"
+  "fig13_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

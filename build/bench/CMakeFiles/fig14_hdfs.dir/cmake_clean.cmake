@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_hdfs.dir/fig14_hdfs.cpp.o"
+  "CMakeFiles/fig14_hdfs.dir/fig14_hdfs.cpp.o.d"
+  "fig14_hdfs"
+  "fig14_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_multi_failure.dir/fig16_multi_failure.cpp.o"
+  "CMakeFiles/fig16_multi_failure.dir/fig16_multi_failure.cpp.o.d"
+  "fig16_multi_failure"
+  "fig16_multi_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_multi_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

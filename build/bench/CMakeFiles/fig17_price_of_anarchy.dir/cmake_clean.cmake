@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_price_of_anarchy.dir/fig17_price_of_anarchy.cpp.o"
+  "CMakeFiles/fig17_price_of_anarchy.dir/fig17_price_of_anarchy.cpp.o.d"
+  "fig17_price_of_anarchy"
+  "fig17_price_of_anarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_price_of_anarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

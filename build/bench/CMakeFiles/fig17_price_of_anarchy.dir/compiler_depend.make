@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_price_of_anarchy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_price_of_anarchy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm2_imbalance.dir/thm2_imbalance.cpp.o"
+  "CMakeFiles/thm2_imbalance.dir/thm2_imbalance.cpp.o.d"
+  "thm2_imbalance"
+  "thm2_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm2_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_lb.dir/custom_lb.cpp.o"
+  "CMakeFiles/custom_lb.dir/custom_lb.cpp.o.d"
+  "custom_lb"
+  "custom_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

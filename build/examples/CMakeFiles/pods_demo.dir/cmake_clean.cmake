@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pods_demo.dir/pods_demo.cpp.o"
+  "CMakeFiles/pods_demo.dir/pods_demo.cpp.o.d"
+  "pods_demo"
+  "pods_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pods_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bottleneck_game.cpp" "src/CMakeFiles/conga.dir/analysis/bottleneck_game.cpp.o" "gcc" "src/CMakeFiles/conga.dir/analysis/bottleneck_game.cpp.o.d"
+  "/root/repo/src/analysis/imbalance_model.cpp" "src/CMakeFiles/conga.dir/analysis/imbalance_model.cpp.o" "gcc" "src/CMakeFiles/conga.dir/analysis/imbalance_model.cpp.o.d"
+  "/root/repo/src/analysis/maxflow.cpp" "src/CMakeFiles/conga.dir/analysis/maxflow.cpp.o" "gcc" "src/CMakeFiles/conga.dir/analysis/maxflow.cpp.o.d"
+  "/root/repo/src/analysis/simplex.cpp" "src/CMakeFiles/conga.dir/analysis/simplex.cpp.o" "gcc" "src/CMakeFiles/conga.dir/analysis/simplex.cpp.o.d"
+  "/root/repo/src/core/conga_lb.cpp" "src/CMakeFiles/conga.dir/core/conga_lb.cpp.o" "gcc" "src/CMakeFiles/conga.dir/core/conga_lb.cpp.o.d"
+  "/root/repo/src/core/congestion_tables.cpp" "src/CMakeFiles/conga.dir/core/congestion_tables.cpp.o" "gcc" "src/CMakeFiles/conga.dir/core/congestion_tables.cpp.o.d"
+  "/root/repo/src/core/dre.cpp" "src/CMakeFiles/conga.dir/core/dre.cpp.o" "gcc" "src/CMakeFiles/conga.dir/core/dre.cpp.o.d"
+  "/root/repo/src/core/flowlet_table.cpp" "src/CMakeFiles/conga.dir/core/flowlet_table.cpp.o" "gcc" "src/CMakeFiles/conga.dir/core/flowlet_table.cpp.o.d"
+  "/root/repo/src/lb/weighted_lb.cpp" "src/CMakeFiles/conga.dir/lb/weighted_lb.cpp.o" "gcc" "src/CMakeFiles/conga.dir/lb/weighted_lb.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/conga.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/conga.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/CMakeFiles/conga.dir/net/host.cpp.o" "gcc" "src/CMakeFiles/conga.dir/net/host.cpp.o.d"
+  "/root/repo/src/net/leaf_switch.cpp" "src/CMakeFiles/conga.dir/net/leaf_switch.cpp.o" "gcc" "src/CMakeFiles/conga.dir/net/leaf_switch.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/conga.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/conga.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/conga.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/conga.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/pod_fabric.cpp" "src/CMakeFiles/conga.dir/net/pod_fabric.cpp.o" "gcc" "src/CMakeFiles/conga.dir/net/pod_fabric.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/CMakeFiles/conga.dir/net/queue.cpp.o" "gcc" "src/CMakeFiles/conga.dir/net/queue.cpp.o.d"
+  "/root/repo/src/net/spine_switch.cpp" "src/CMakeFiles/conga.dir/net/spine_switch.cpp.o" "gcc" "src/CMakeFiles/conga.dir/net/spine_switch.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/conga.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/conga.dir/net/topology.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/conga.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/conga.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/conga.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/conga.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/stats/fct_collector.cpp" "src/CMakeFiles/conga.dir/stats/fct_collector.cpp.o" "gcc" "src/CMakeFiles/conga.dir/stats/fct_collector.cpp.o.d"
+  "/root/repo/src/stats/samplers.cpp" "src/CMakeFiles/conga.dir/stats/samplers.cpp.o" "gcc" "src/CMakeFiles/conga.dir/stats/samplers.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/conga.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/conga.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/tcp/flow.cpp" "src/CMakeFiles/conga.dir/tcp/flow.cpp.o" "gcc" "src/CMakeFiles/conga.dir/tcp/flow.cpp.o.d"
+  "/root/repo/src/tcp/mptcp_connection.cpp" "src/CMakeFiles/conga.dir/tcp/mptcp_connection.cpp.o" "gcc" "src/CMakeFiles/conga.dir/tcp/mptcp_connection.cpp.o.d"
+  "/root/repo/src/tcp/tcp_connection.cpp" "src/CMakeFiles/conga.dir/tcp/tcp_connection.cpp.o" "gcc" "src/CMakeFiles/conga.dir/tcp/tcp_connection.cpp.o.d"
+  "/root/repo/src/tcp/tcp_sink.cpp" "src/CMakeFiles/conga.dir/tcp/tcp_sink.cpp.o" "gcc" "src/CMakeFiles/conga.dir/tcp/tcp_sink.cpp.o.d"
+  "/root/repo/src/workload/experiment.cpp" "src/CMakeFiles/conga.dir/workload/experiment.cpp.o" "gcc" "src/CMakeFiles/conga.dir/workload/experiment.cpp.o.d"
+  "/root/repo/src/workload/flow_size_dist.cpp" "src/CMakeFiles/conga.dir/workload/flow_size_dist.cpp.o" "gcc" "src/CMakeFiles/conga.dir/workload/flow_size_dist.cpp.o.d"
+  "/root/repo/src/workload/flowlet_study.cpp" "src/CMakeFiles/conga.dir/workload/flowlet_study.cpp.o" "gcc" "src/CMakeFiles/conga.dir/workload/flowlet_study.cpp.o.d"
+  "/root/repo/src/workload/hdfs_gen.cpp" "src/CMakeFiles/conga.dir/workload/hdfs_gen.cpp.o" "gcc" "src/CMakeFiles/conga.dir/workload/hdfs_gen.cpp.o.d"
+  "/root/repo/src/workload/incast_gen.cpp" "src/CMakeFiles/conga.dir/workload/incast_gen.cpp.o" "gcc" "src/CMakeFiles/conga.dir/workload/incast_gen.cpp.o.d"
+  "/root/repo/src/workload/traffic_gen.cpp" "src/CMakeFiles/conga.dir/workload/traffic_gen.cpp.o" "gcc" "src/CMakeFiles/conga.dir/workload/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

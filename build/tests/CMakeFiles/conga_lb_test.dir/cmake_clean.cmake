@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conga_lb_test.dir/conga_lb_test.cpp.o"
+  "CMakeFiles/conga_lb_test.dir/conga_lb_test.cpp.o.d"
+  "conga_lb_test"
+  "conga_lb_test.pdb"
+  "conga_lb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conga_lb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

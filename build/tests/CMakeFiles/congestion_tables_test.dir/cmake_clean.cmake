@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_tables_test.dir/congestion_tables_test.cpp.o"
+  "CMakeFiles/congestion_tables_test.dir/congestion_tables_test.cpp.o.d"
+  "congestion_tables_test"
+  "congestion_tables_test.pdb"
+  "congestion_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

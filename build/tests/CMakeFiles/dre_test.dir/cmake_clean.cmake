@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dre_test.dir/dre_test.cpp.o"
+  "CMakeFiles/dre_test.dir/dre_test.cpp.o.d"
+  "dre_test"
+  "dre_test.pdb"
+  "dre_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

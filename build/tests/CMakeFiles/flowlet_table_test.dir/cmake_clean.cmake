@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowlet_table_test.dir/flowlet_table_test.cpp.o"
+  "CMakeFiles/flowlet_table_test.dir/flowlet_table_test.cpp.o.d"
+  "flowlet_table_test"
+  "flowlet_table_test.pdb"
+  "flowlet_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowlet_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_fabric_test.dir/pod_fabric_test.cpp.o"
+  "CMakeFiles/pod_fabric_test.dir/pod_fabric_test.cpp.o.d"
+  "pod_fabric_test"
+  "pod_fabric_test.pdb"
+  "pod_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_link_test.dir/queue_link_test.cpp.o"
+  "CMakeFiles/queue_link_test.dir/queue_link_test.cpp.o.d"
+  "queue_link_test"
+  "queue_link_test.pdb"
+  "queue_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

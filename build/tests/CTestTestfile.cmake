@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/dre_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_link_test[1]_include.cmake")
+include("/root/repo/build/tests/flowlet_table_test[1]_include.cmake")
+include("/root/repo/build/tests/congestion_tables_test[1]_include.cmake")
+include("/root/repo/build/tests/conga_lb_test[1]_include.cmake")
+include("/root/repo/build/tests/lb_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/pod_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/mptcp_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_crosscheck_test[1]_include.cmake")
+include("/root/repo/build/tests/host_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conga_sim.dir/conga_sim.cpp.o"
+  "CMakeFiles/conga_sim.dir/conga_sim.cpp.o.d"
+  "conga_sim"
+  "conga_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conga_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
