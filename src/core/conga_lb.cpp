@@ -31,6 +31,7 @@ CongaLb::CongaLb(net::LeafSwitch& leaf, int num_leaves, const CongaConfig& cfg,
       from_leaf_(table_config(num_leaves, kMaxLbTagValues, cfg)) {
   assert(!leaf.uplinks().empty() &&
          "install CONGA after wiring the leaf's uplinks");
+  flowlets_.set_label(leaf.name() + "/flowlets");
 }
 
 std::uint8_t CongaLb::cost(net::LeafId dst_leaf, int uplink,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "debug/invariants.hpp"
+
 namespace conga::core {
 
 Dre::Dre(DreConfig cfg, double link_rate_bps)
@@ -14,6 +16,9 @@ void Dre::decay_to(sim::TimeNs now) const {
   const std::int64_t period = now / cfg_.t_dre;
   if (period <= last_period_) return;
   const std::int64_t k = period - last_period_;
+#if defined(CONGA_CHECK_INVARIANTS) && CONGA_CHECK_INVARIANTS
+  const double before = x_;
+#endif
   // (1-alpha)^k decays below any measurable value quickly; short-circuit the
   // pow for long idle stretches.
   if (k > 200) {
@@ -22,6 +27,7 @@ void Dre::decay_to(sim::TimeNs now) const {
     x_ *= std::pow(1.0 - cfg_.alpha, static_cast<double>(k));
   }
   last_period_ = period;
+  CONGA_INVARIANT(check_dre_register(label_, now, before, x_));
 }
 
 void Dre::add(std::uint32_t bytes, sim::TimeNs now) {

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 
 #include "sim/time.hpp"
 
@@ -59,10 +61,16 @@ class Dre {
   const DreConfig& config() const { return cfg_; }
   double raw_register(sim::TimeNs now) const;
 
+  /// Names this estimator in invariant-violation reports (the owning link's
+  /// name); optional, defaults to "dre".
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
  private:
   void decay_to(sim::TimeNs now) const;
 
   DreConfig cfg_;
+  std::string label_ = "dre";
   double capacity_bytes_per_tau_;  ///< C * tau, in bytes
   std::uint8_t max_metric_;
   mutable double x_ = 0.0;            ///< the register, in bytes

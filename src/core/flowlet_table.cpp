@@ -1,5 +1,7 @@
 #include "core/flowlet_table.hpp"
 
+#include "debug/invariants.hpp"
+
 namespace conga::core {
 
 FlowletTable::FlowletTable(const FlowletTableConfig& cfg)
@@ -29,6 +31,9 @@ int FlowletTable::lookup(const net::FlowKey& key, sim::TimeNs now) {
     e.valid = false;
     return -1;
   }
+  // A hit: the entry must be live and its timestamp in the past.
+  CONGA_INVARIANT(check_flowlet_entry(label_, now, e.last_seen, cfg_.gap,
+                                      e.valid, e.port));
   e.last_seen = now;
   return e.port;
 }
@@ -39,6 +44,8 @@ void FlowletTable::install(const net::FlowKey& key, int port, sim::TimeNs now) {
   e.valid = true;
   e.last_seen = now;
   ++new_flowlets_;
+  CONGA_INVARIANT(check_flowlet_entry(label_, now, e.last_seen, cfg_.gap,
+                                      e.valid, e.port));
 }
 
 int FlowletTable::last_port(const net::FlowKey& key) const {

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -54,6 +56,11 @@ class FlowletTable {
   std::uint64_t new_flowlets() const { return new_flowlets_; }
   const FlowletTableConfig& config() const { return cfg_; }
 
+  /// Names this table in invariant-violation reports (e.g. the owning leaf);
+  /// optional, defaults to "flowlet_table".
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
  private:
   struct Entry {
     std::int32_t port = -1;
@@ -65,6 +72,7 @@ class FlowletTable {
   std::size_t index(const net::FlowKey& key) const;
 
   FlowletTableConfig cfg_;
+  std::string label_ = "flowlet_table";
   std::vector<Entry> entries_;
   std::uint64_t new_flowlets_ = 0;
 };

@@ -1,0 +1,40 @@
+#include "debug/determinism.hpp"
+
+#include "stats/digest.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace conga::debug {
+
+RunDigests run_digest_trial(const DigestScenario& s) {
+  sim::Scheduler sched;
+  stats::TraceDigest trace;
+  sched.set_trace_hook([&trace](sim::TimeNs t, sim::EventId id) {
+    trace.add(static_cast<std::uint64_t>(t));
+    trace.add(id);
+  });
+
+  net::Fabric fabric(sched, s.topo, s.fabric_seed);
+  fabric.install_lb(s.lb);
+
+  workload::TrafficGenConfig gc;
+  gc.load = s.load;
+  gc.stop = s.warmup + s.measure;
+  gc.measure_start = s.warmup;
+  gc.measure_stop = gc.stop;
+  gc.seed = s.traffic_seed;
+
+  tcp::FlowFactory transport =
+      s.transport ? s.transport : tcp::make_tcp_flow_factory({});
+  workload::TrafficGenerator gen(fabric, transport, s.dist, gc);
+  gen.start();
+
+  RunDigests r;
+  r.drained = workload::run_with_drain(sched, gen, gc.stop, s.max_drain);
+  r.fct = stats::fct_digest(gen.collector());
+  r.trace = trace.value();
+  r.events = sched.events_dispatched();
+  r.flows = gen.collector().count();
+  return r;
+}
+
+}  // namespace conga::debug

@@ -1,0 +1,55 @@
+// Determinism trial runner (correctness tooling).
+//
+// Runs one experiment cell with a digest-instrumented scheduler and returns
+// two fingerprints of the run:
+//  * an order-insensitive digest of the per-flow FCT records (did the run
+//    produce the same *results*?), and
+//  * an order-sensitive digest of the dispatch stream (did it produce them
+//    via the same *schedule*?).
+// Running the same scenario twice with the same seeds must yield identical
+// digests of both kinds; a trace mismatch with matching FCTs pinpoints a
+// hidden ordering dependence (wall clock, pointer order, unordered-container
+// iteration) before it grows into a results divergence.
+//
+// Shared by tools/determinism_audit (the CI gate) and the determinism
+// regression test.
+#pragma once
+
+#include <cstdint>
+
+#include "net/fabric.hpp"
+#include "sim/time.hpp"
+#include "tcp/flow.hpp"
+#include "workload/flow_size_dist.hpp"
+
+namespace conga::debug {
+
+/// One experiment cell to fingerprint. Mirrors workload::ExperimentConfig,
+/// minus the summary knobs that do not affect the packet-level schedule.
+struct DigestScenario {
+  net::TopologyConfig topo;
+  net::Fabric::LbFactory lb;                          ///< required
+  workload::FlowSizeDist dist = workload::enterprise();
+  tcp::FlowFactory transport;                         ///< empty = plain TCP
+  double load = 0.6;
+  sim::TimeNs warmup = sim::milliseconds(5);
+  sim::TimeNs measure = sim::milliseconds(20);
+  sim::TimeNs max_drain = sim::seconds(1.0);
+  std::uint64_t fabric_seed = 1;
+  std::uint64_t traffic_seed = 7;
+};
+
+struct RunDigests {
+  std::uint64_t fct = 0;     ///< order-insensitive FCT-record digest
+  std::uint64_t trace = 0;   ///< order-sensitive event-trace digest
+  std::uint64_t events = 0;  ///< events dispatched (quick divergence hint)
+  std::uint64_t flows = 0;   ///< measured flows recorded
+  bool drained = false;      ///< all measured flows completed
+
+  friend bool operator==(const RunDigests&, const RunDigests&) = default;
+};
+
+/// Builds a fresh simulation from `s`, runs it to completion, and digests it.
+RunDigests run_digest_trial(const DigestScenario& s);
+
+}  // namespace conga::debug

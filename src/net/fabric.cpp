@@ -37,16 +37,21 @@ void Fabric::build() {
     directory_[static_cast<std::size_t>(h)] = h / H;
   }
 
+  // Per-component seeds are keyed streams (component class in the high byte,
+  // index below), not sequential engine draws: adding or reordering
+  // components never perturbs another component's stream.
   for (int l = 0; l < L; ++l) {
     leaves_.push_back(std::make_unique<LeafSwitch>(
-        sched_, l, &directory_, rng_.engine()()));
+        sched_, l, &directory_,
+        rng_.stream_seed((1ULL << 56) | static_cast<std::uint64_t>(l))));
     if (cfg_.shared_buffer_bytes > 0) {
       leaf_pools_.push_back(std::make_unique<SharedBufferPool>(
           cfg_.shared_buffer_bytes, cfg_.shared_buffer_alpha));
     }
   }
   for (int s = 0; s < S; ++s) {
-    spines_.push_back(std::make_unique<SpineSwitch>(s, L, rng_.engine()()));
+    spines_.push_back(std::make_unique<SpineSwitch>(
+        s, L, rng_.stream_seed((2ULL << 56) | static_cast<std::uint64_t>(s))));
     if (cfg_.shared_buffer_bytes > 0) {
       spine_pools_.push_back(std::make_unique<SharedBufferPool>(
           cfg_.shared_buffer_bytes, cfg_.shared_buffer_alpha));
@@ -247,7 +252,10 @@ void Fabric::restore_fabric_link(int leaf, int spine, int parallel,
 
 void Fabric::install_lb(const LbFactory& factory) {
   for (auto& leaf : leaves_) {
-    leaf->set_load_balancer(factory(*leaf, cfg_, rng_.engine()()));
+    leaf->set_load_balancer(factory(
+        *leaf, cfg_,
+        rng_.stream_seed((3ULL << 56) |
+                         static_cast<std::uint64_t>(leaf->id()))));
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "debug/invariants.hpp"
+
 namespace conga::net {
 
 LeafSwitch::LeafSwitch(sim::Scheduler& sched, LeafId id,
@@ -47,6 +49,12 @@ void LeafSwitch::send_to_fabric(PacketPtr pkt, LeafId dst_leaf) {
   const sim::TimeNs now = sched_.now();
   int up = lb_->select_uplink(*pkt, dst_leaf, now);
   assert(up >= 0 && up < static_cast<int>(uplinks_.size()));
+  CONGA_INVARIANT(check_condition(
+      up >= 0 && up < static_cast<int>(uplinks_.size()) &&
+          uplink_reaches(up, dst_leaf),
+      name(), now, "leaf.uplink-validity",
+      "load balancer picked an uplink that is out of range, down, or cannot "
+      "reach the destination leaf"));
   pkt->overlay.lbtag = static_cast<std::uint8_t>(up);
   lb_->annotate(*pkt, up, now);
 
@@ -58,6 +66,10 @@ void LeafSwitch::receive(PacketPtr pkt, int /*in_port*/) {
   if (pkt->overlay.valid) {
     // Arrived from the fabric: harvest CONGA state, decapsulate, deliver.
     assert(pkt->overlay.dst_leaf == id_);
+    CONGA_INVARIANT(check_condition(
+        pkt->overlay.dst_leaf == id_, name(), sched_.now(),
+        "leaf.overlay-routing",
+        "fabric delivered a packet whose outer destination is another leaf"));
     ++packets_from_fabric_;
     if (lb_) lb_->on_fabric_receive(*pkt, sched_.now());
     pkt->overlay = OverlayHeader{};

@@ -12,7 +12,10 @@ Link::Link(sim::Scheduler& sched, std::string name, const LinkConfig& cfg)
       cfg_(cfg),
       queue_(cfg.queue_capacity_bytes, cfg.ecn_threshold_bytes,
              cfg.shared_pool),
-      dre_(cfg.dre, cfg.rate_bps) {}
+      dre_(cfg.dre, cfg.rate_bps) {
+  queue_.set_label(name_);
+  dre_.set_label(name_);
+}
 
 void Link::connect_to(Node* dst, int dst_port) {
   dst_ = dst;

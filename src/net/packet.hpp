@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "sim/hash.hpp"
 #include "sim/time.hpp"
 
 namespace conga::net {
@@ -19,18 +20,10 @@ namespace conga::net {
 using HostId = std::int32_t;
 using LeafId = std::int32_t;
 
-/// SplitMix64 finalizer: full-avalanche 64-bit mix. Seeded hashers must run
-/// this *after* XORing their seed — a bare `hash ^ seed` keeps seeds
-/// correlated (two seeds differing in the low bits produce permuted, not
-/// independent, bucket assignments).
-constexpr std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return x;
-}
+// mix64 historically lived here; it moved to sim/hash.hpp so lower layers
+// (sim::Rng stream derivation) can share it. Re-exported for the many
+// net-layer consumers.
+using sim::mix64;
 
 /// Inner 5-tuple, always stated in the *data* direction of a connection
 /// (sender -> receiver); ACKs carry the same key with `is_ack` set. This

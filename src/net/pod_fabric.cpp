@@ -55,20 +55,26 @@ void PodFabric::build() {
   for (int h = 0; h < L * H; ++h) directory_[static_cast<std::size_t>(h)] = h / H;
   for (int l = 0; l < L; ++l) leaf_to_pod_[static_cast<std::size_t>(l)] = l / Lp;
 
+  // Keyed per-component seed streams (see Fabric::build): stable under
+  // wiring-order changes and component addition.
   for (int l = 0; l < L; ++l) {
-    leaves_.push_back(std::make_unique<LeafSwitch>(sched_, l, &directory_,
-                                                   rng_.engine()()));
+    leaves_.push_back(std::make_unique<LeafSwitch>(
+        sched_, l, &directory_,
+        rng_.stream_seed((1ULL << 56) | static_cast<std::uint64_t>(l))));
   }
   for (int p = 0; p < P; ++p) {
     for (int s = 0; s < Sp; ++s) {
-      spines_.push_back(
-          std::make_unique<SpineSwitch>(p * Sp + s, L, rng_.engine()()));
+      spines_.push_back(std::make_unique<SpineSwitch>(
+          p * Sp + s, L,
+          rng_.stream_seed((2ULL << 56) |
+                           static_cast<std::uint64_t>(p * Sp + s))));
       spines_.back()->set_pod_membership(leaf_to_pod_, p);
     }
   }
   for (int c = 0; c < C; ++c) {
-    cores_.push_back(
-        std::make_unique<CoreSwitch>(c, leaf_to_pod_, P, rng_.engine()()));
+    cores_.push_back(std::make_unique<CoreSwitch>(
+        c, leaf_to_pod_, P,
+        rng_.stream_seed((4ULL << 56) | static_cast<std::uint64_t>(c))));
   }
 
   // Hosts and access links.
@@ -216,7 +222,10 @@ void PodFabric::install_lb(const Fabric::LbFactory& factory) {
   flat.fabric_link_bps = cfg_.fabric_link_bps;
   flat.dre = cfg_.dre;
   for (auto& leaf : leaves_) {
-    leaf->set_load_balancer(factory(*leaf, flat, rng_.engine()()));
+    leaf->set_load_balancer(factory(
+        *leaf, flat,
+        rng_.stream_seed((3ULL << 56) |
+                         static_cast<std::uint64_t>(leaf->id()))));
   }
 }
 

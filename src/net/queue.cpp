@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "debug/invariants.hpp"
+
 namespace conga::net {
 
 void DropTailQueue::account(sim::TimeNs now) {
@@ -32,6 +34,10 @@ bool DropTailQueue::enqueue(PacketPtr pkt, sim::TimeNs now) {
   stats_.max_bytes_seen = std::max(stats_.max_bytes_seen, bytes_);
   pkt->enqueued_at = now;
   q_.push_back(std::move(pkt));
+  CONGA_INVARIANT(check_queue_bounds(label_, now, bytes_, capacity_bytes_,
+                                     q_.size()));
+  CONGA_INVARIANT(check_byte_conservation(label_, now, stats_.enqueued_bytes,
+                                          stats_.dequeued_bytes, bytes_));
   return true;
 }
 
@@ -41,7 +47,13 @@ PacketPtr DropTailQueue::dequeue(sim::TimeNs now) {
   PacketPtr pkt = std::move(q_.front());
   q_.pop_front();
   bytes_ -= pkt->size_bytes;
+  ++stats_.dequeued_pkts;
+  stats_.dequeued_bytes += pkt->size_bytes;
   if (pool_ != nullptr) pool_->release(pkt->size_bytes);
+  CONGA_INVARIANT(check_queue_bounds(label_, now, bytes_, capacity_bytes_,
+                                     q_.size()));
+  CONGA_INVARIANT(check_byte_conservation(label_, now, stats_.enqueued_bytes,
+                                          stats_.dequeued_bytes, bytes_));
   return pkt;
 }
 

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
+#include <utility>
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
@@ -17,6 +19,8 @@ namespace conga::net {
 struct QueueStats {
   std::uint64_t enqueued_pkts = 0;
   std::uint64_t enqueued_bytes = 0;
+  std::uint64_t dequeued_pkts = 0;
+  std::uint64_t dequeued_bytes = 0;
   std::uint64_t dropped_pkts = 0;
   std::uint64_t dropped_bytes = 0;
   std::uint64_t ecn_marked_pkts = 0;
@@ -70,6 +74,11 @@ class DropTailQueue {
   /// Pops the head, or nullptr if empty.
   PacketPtr dequeue(sim::TimeNs now);
 
+  /// Names this queue in invariant-violation reports (the owning link's
+  /// name); optional, defaults to "queue".
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
   bool empty() const { return q_.empty(); }
   std::uint64_t bytes() const { return bytes_; }
   std::size_t packets() const { return q_.size(); }
@@ -85,6 +94,7 @@ class DropTailQueue {
   std::uint64_t capacity_bytes_;
   std::uint64_t ecn_threshold_bytes_;
   SharedBufferPool* pool_;
+  std::string label_ = "queue";
   std::uint64_t bytes_ = 0;
   std::deque<PacketPtr> q_;
   QueueStats stats_;

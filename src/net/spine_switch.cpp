@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "debug/invariants.hpp"
+
 namespace conga::net {
 
 void SpineSwitch::remove_downlink(LeafId leaf, Link* link) {
@@ -14,6 +16,11 @@ void SpineSwitch::receive(PacketPtr pkt, int /*in_port*/) {
   assert(pkt->overlay.valid && "spine received a non-encapsulated packet");
   const auto leaf = static_cast<std::size_t>(pkt->overlay.dst_leaf);
   assert(leaf < ports_to_leaf_.size());
+  CONGA_INVARIANT(check_condition(
+      pkt->overlay.valid && leaf < ports_to_leaf_.size(), name(), 0,
+      "spine.overlay-routing",
+      "spine received a non-encapsulated packet or an out-of-range "
+      "destination leaf"));
 
   // 3-tier: destinations outside this pod go up to the core.
   if (!leaf_to_pod_.empty() && leaf_to_pod_[leaf] != my_pod_) {

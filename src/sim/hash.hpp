@@ -1,0 +1,22 @@
+// Deterministic 64-bit mixing, shared by hashing consumers across layers
+// (packet 5-tuple hashing, seeded RNG stream derivation, run digests).
+#pragma once
+
+#include <cstdint>
+
+namespace conga::sim {
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mix. Seeded hashers must run
+/// this *after* XORing their seed — a bare `hash ^ seed` keeps seeds
+/// correlated (two seeds differing in the low bits produce permuted, not
+/// independent, bucket assignments).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace conga::sim

@@ -9,11 +9,13 @@
 #include <random>
 #include <vector>
 
+#include "sim/hash.hpp"
+
 namespace conga::sim {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 1) : seed_(seed), engine_(seed) {}
 
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
@@ -39,13 +41,30 @@ class Rng {
     return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
   }
 
-  /// Derives an independent child RNG (e.g. one per traffic source) so that
-  /// adding a component does not perturb the random streams of others.
+  /// Derives an independent child RNG by drawing from this engine. NOTE:
+  /// the child depends on how many draws preceded the fork — prefer
+  /// stream()/stream_seed(), whose derivation is keyed and draw-order
+  /// independent, for per-component streams.
   Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  /// Deterministic per-component seed, a pure function of (this seed, key):
+  /// unlike fork(), it does not advance the engine, so adding, removing, or
+  /// reordering components never perturbs the streams of others. Callers pick
+  /// structured keys (component class + index).
+  std::uint64_t stream_seed(std::uint64_t key) const {
+    return mix64(seed_ ^ mix64(key + 0x9e3779b97f4a7c15ULL));
+  }
+
+  /// Independent child RNG for the component identified by `key`.
+  Rng stream(std::uint64_t key) const { return Rng(stream_seed(key)); }
+
+  /// The seed this engine was constructed with (stream derivation base).
+  std::uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
 };

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "debug/invariants.hpp"
+
 namespace conga::sim {
 
 EventId Scheduler::schedule_at(TimeNs t, Callback cb) {
@@ -39,8 +41,10 @@ void Scheduler::run() {
   stopped_ = false;
   Event ev;
   while (!stopped_ && pop_next(ev)) {
+    CONGA_INVARIANT(check_time_monotonic("scheduler", now_, ev.time));
     now_ = ev.time;
     ++dispatched_;
+    if (trace_) trace_(ev.time, ev.id);
     ev.cb();
   }
 }
@@ -58,8 +62,10 @@ void Scheduler::run_until(TimeNs t) {
     }
     if (heap_.top().time > t) break;
     if (!pop_next(ev)) break;
+    CONGA_INVARIANT(check_time_monotonic("scheduler", now_, ev.time));
     now_ = ev.time;
     ++dispatched_;
+    if (trace_) trace_(ev.time, ev.id);
     ev.cb();
   }
   if (now_ < t) now_ = t;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -72,6 +73,13 @@ class Scheduler {
   /// Number of events currently pending (excluding cancelled ones).
   std::size_t pending() const { return heap_.size() - cancelled_.size(); }
 
+  /// Observer invoked once per dispatched event with (time, id), in dispatch
+  /// order. Event ids are assigned in schedule order, so hashing this stream
+  /// fingerprints the run's exact interleaving — the determinism auditor's
+  /// event-trace digest. Unset (the default) costs one branch per dispatch.
+  using TraceHook = std::function<void(TimeNs, EventId)>;
+  void set_trace_hook(TraceHook h) { trace_ = std::move(h); }
+
  private:
   struct Event {
     TimeNs time;
@@ -91,6 +99,7 @@ class Scheduler {
   bool pop_next(Event& out);
 
   TimeNs now_ = 0;
+  TraceHook trace_;
   EventId next_id_ = 1;
   std::uint64_t dispatched_ = 0;
   bool stopped_ = false;

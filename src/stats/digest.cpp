@@ -1,0 +1,21 @@
+#include "stats/digest.hpp"
+
+#include "stats/fct_collector.hpp"
+
+namespace conga::stats {
+
+std::uint64_t fct_digest(const FctCollector& collector) {
+  UnorderedDigest d;
+  for (const FlowRecord& r : collector.records()) {
+    // Chain the three fields order-sensitively *within* a record (records as
+    // a set are unordered, but a record's fields are not interchangeable).
+    TraceDigest rec;
+    rec.add(r.size_bytes);
+    rec.add(static_cast<std::uint64_t>(r.fct));
+    rec.add(static_cast<std::uint64_t>(r.optimal_fct));
+    d.add(rec.value());
+  }
+  return d.value();
+}
+
+}  // namespace conga::stats

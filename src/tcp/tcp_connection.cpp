@@ -5,6 +5,20 @@
 #include <limits>
 #include <utility>
 
+#include "debug/invariants.hpp"
+
+#if defined(CONGA_CHECK_INVARIANTS) && CONGA_CHECK_INVARIANTS
+#include <string>
+
+namespace {
+// Violation-report label for a sender: the connection's data-direction tuple.
+std::string tcp_node_name(const conga::net::FlowKey& f) {
+  return "tcp host" + std::to_string(f.src_host) + "->host" +
+         std::to_string(f.dst_host) + ":" + std::to_string(f.dst_port);
+}
+}  // namespace
+#endif
+
 namespace conga::tcp {
 
 TcpSender::TcpSender(sim::Scheduler& sched, net::Host& local,
@@ -364,6 +378,8 @@ void TcpSender::handle_ack(const net::TcpHeader& hdr, bool ecn_echo) {
 
   send_available();
   maybe_finish();
+  CONGA_INVARIANT(check_tcp_window(tcp_node_name(flow_), sched_.now(),
+                                   snd_una_, snd_nxt_, snd_max_, cwnd_));
 }
 
 void TcpSender::on_rto() {
@@ -382,6 +398,8 @@ void TcpSender::on_rto() {
   ++backoff_;
   on_loss_event();
   send_available();
+  CONGA_INVARIANT(check_tcp_window(tcp_node_name(flow_), sched_.now(),
+                                   snd_una_, snd_nxt_, snd_max_, cwnd_));
 }
 
 void TcpSender::on_packet(net::PacketPtr pkt) {

@@ -1,0 +1,116 @@
+// Determinism regression tests: the digest primitives behave as specified
+// (order-insensitive vs order-sensitive), and a small leaf-spine scenario run
+// twice with the same seeds produces bit-identical FCT and event-trace
+// digests — the library-level version of the tools/determinism_audit gate.
+#include "debug/determinism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lb/factories.hpp"
+#include "stats/digest.hpp"
+#include "stats/fct_collector.hpp"
+#include "workload/flow_size_dist.hpp"
+
+namespace conga {
+namespace {
+
+TEST(Digest, UnorderedDigestIgnoresOrder) {
+  stats::UnorderedDigest a, b;
+  for (std::uint64_t v : {7u, 42u, 999u, 7u}) a.add(v);
+  for (std::uint64_t v : {999u, 7u, 7u, 42u}) b.add(v);
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.count(), b.count());
+}
+
+TEST(Digest, UnorderedDigestSeesContentChanges) {
+  stats::UnorderedDigest a, b, c;
+  for (std::uint64_t v : {7u, 42u}) a.add(v);
+  for (std::uint64_t v : {7u, 43u}) b.add(v);
+  for (std::uint64_t v : {7u, 42u, 42u}) c.add(v);
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_NE(a.value(), c.value());  // multiplicity matters
+}
+
+TEST(Digest, TraceDigestIsOrderSensitive) {
+  stats::TraceDigest ab, ba;
+  ab.add(1);
+  ab.add(2);
+  ba.add(2);
+  ba.add(1);
+  EXPECT_NE(ab.value(), ba.value());
+
+  stats::TraceDigest prefix;
+  prefix.add(1);
+  EXPECT_NE(prefix.value(), ab.value());
+}
+
+TEST(Digest, HashDoubleCollapsesSignedZero) {
+  EXPECT_EQ(stats::hash_double(0.0), stats::hash_double(-0.0));
+  EXPECT_NE(stats::hash_double(1.0), stats::hash_double(1.0000000001));
+}
+
+TEST(Digest, FctDigestIsOrderInsensitiveOverRecords) {
+  stats::FctCollector fwd, rev, other;
+  fwd.record(1000, 50, 10);
+  fwd.record(2000, 70, 20);
+  rev.record(2000, 70, 20);
+  rev.record(1000, 50, 10);
+  other.record(1000, 50, 10);
+  other.record(2000, 71, 20);  // one ns of FCT drift
+  EXPECT_EQ(stats::fct_digest(fwd), stats::fct_digest(rev));
+  EXPECT_NE(stats::fct_digest(fwd), stats::fct_digest(other));
+}
+
+TEST(Digest, FctDigestFieldsAreNotInterchangeable) {
+  stats::FctCollector a, b;
+  a.record(1000, 50, 10);
+  b.record(1000, 10, 50);  // fct and optimal swapped
+  EXPECT_NE(stats::fct_digest(a), stats::fct_digest(b));
+}
+
+debug::DigestScenario small_scenario(std::uint64_t fabric_seed,
+                                     std::uint64_t traffic_seed) {
+  debug::DigestScenario s;
+  s.topo.num_leaves = 3;
+  s.topo.num_spines = 2;
+  s.topo.hosts_per_leaf = 4;
+  s.lb = core::conga();
+  s.dist = workload::fixed_size(50'000);
+  s.load = 0.4;
+  s.warmup = sim::milliseconds(1);
+  s.measure = sim::milliseconds(5);
+  s.fabric_seed = fabric_seed;
+  s.traffic_seed = traffic_seed;
+  return s;
+}
+
+TEST(DeterminismRegression, SameSeedsSameDigests) {
+  const debug::RunDigests a = debug::run_digest_trial(small_scenario(1, 7));
+  const debug::RunDigests b = debug::run_digest_trial(small_scenario(1, 7));
+  ASSERT_GT(a.flows, 0u);
+  EXPECT_EQ(a.fct, b.fct);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(DeterminismRegression, SameSeedsSameDigestsUnderEcmp) {
+  auto s = small_scenario(3, 11);
+  s.lb = lb::ecmp();
+  const debug::RunDigests a = debug::run_digest_trial(s);
+  const debug::RunDigests b = debug::run_digest_trial(s);
+  ASSERT_GT(a.flows, 0u);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(DeterminismRegression, DifferentTrafficSeedDiffers) {
+  const debug::RunDigests a = debug::run_digest_trial(small_scenario(1, 7));
+  const debug::RunDigests b = debug::run_digest_trial(small_scenario(1, 8));
+  // Different arrivals: both digests must move (the trace certainly; the FCT
+  // digest with overwhelming probability).
+  EXPECT_NE(a.trace, b.trace);
+  EXPECT_NE(a.fct, b.fct);
+}
+
+}  // namespace
+}  // namespace conga

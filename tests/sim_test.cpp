@@ -207,6 +207,38 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_LT(same, 3);
 }
 
+TEST(Rng, StreamSeedIsDrawOrderIndependent) {
+  // Keyed streams are a pure function of (seed, key): consuming draws from
+  // the parent must not change them — unlike fork().
+  Rng fresh(42);
+  Rng consumed(42);
+  for (int i = 0; i < 100; ++i) (void)consumed.uniform();
+  for (std::uint64_t key : {0ULL, 1ULL, (1ULL << 56) | 3ULL, ~0ULL}) {
+    EXPECT_EQ(fresh.stream_seed(key), consumed.stream_seed(key));
+  }
+}
+
+TEST(Rng, StreamSeedSeparatesKeysAndSeeds) {
+  Rng rng(42);
+  EXPECT_NE(rng.stream_seed(1), rng.stream_seed(2));
+  EXPECT_NE(rng.stream_seed((1ULL << 56) | 0ULL),
+            rng.stream_seed((2ULL << 56) | 0ULL));
+  Rng other(43);
+  EXPECT_NE(rng.stream_seed(1), other.stream_seed(1));
+}
+
+TEST(Rng, StreamProducesIndependentReproducibleChildren) {
+  Rng parent(7);
+  Rng a = parent.stream(5);
+  Rng b = parent.stream(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+  Rng c = parent.stream(6);
+  int same = 0;
+  Rng d = parent.stream(5);
+  for (int i = 0; i < 16; ++i) same += (d.uniform() == c.uniform());
+  EXPECT_LT(same, 3);
+}
+
 TEST(Shuffle, PermutesAllElements) {
   Rng rng(17);
   std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};

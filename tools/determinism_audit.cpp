@@ -1,0 +1,142 @@
+// determinism_audit — bit-reproducibility gate for the simulator.
+//
+// Runs one scenario N times (default 2) with identical seeds and compares,
+// across runs:
+//   * the order-insensitive FCT digest (per-flow results), and
+//   * the order-sensitive event-trace digest (the exact dispatch schedule).
+// Any dependence on wall clock, pointer order, ASLR, or unordered-container
+// iteration shows up as a digest mismatch; exit status 1 makes it a CI gate.
+//
+// The default scenario is the fig09 enterprise-workload cell (baseline
+// testbed topology, CONGA, 60% load) scaled to run in seconds.
+//
+// Flags:
+//   --seed N          fabric seed (traffic seed is derived)   [default 1]
+//   --runs N          number of identical runs to compare     [default 2]
+//   --duration-ms N   measurement window                      [default 20]
+//   --warmup-ms N     warmup before measurement               [default 5]
+//   --hosts N         hosts per leaf                          [default 8]
+//   --load F          offered load                            [default 0.6]
+//   --lb NAME         ecmp|conga|conga-flow|spray|local       [default conga]
+//   --workload NAME   enterprise|data-mining|web-search       [default enterprise]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "debug/determinism.hpp"
+#include "lb/factories.hpp"
+
+using namespace conga;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr,
+               "determinism_audit: %s\n(see the header of "
+               "tools/determinism_audit.cpp for flag documentation)\n",
+               msg);
+  std::exit(2);
+}
+
+net::Fabric::LbFactory make_lb(const std::string& name) {
+  if (name == "ecmp") return lb::ecmp();
+  if (name == "conga") return core::conga();
+  if (name == "conga-flow") return core::conga_flow();
+  if (name == "spray") return lb::spray();
+  if (name == "local") return lb::local_aware();
+  usage(("unknown --lb: " + name).c_str());
+}
+
+workload::FlowSizeDist make_dist(const std::string& name) {
+  if (name == "enterprise") return workload::enterprise();
+  if (name == "data-mining") return workload::data_mining();
+  if (name == "web-search") return workload::web_search();
+  usage(("unknown --workload: " + name).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  int runs = 2;
+  int duration_ms = 20;
+  int warmup_ms = 5;
+  int hosts = 8;
+  double load = 0.6;
+  std::string lb = "conga";
+  std::string workload_name = "enterprise";
+
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("flag needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--runs") {
+      runs = std::atoi(need(i));
+    } else if (a == "--duration-ms") {
+      duration_ms = std::atoi(need(i));
+    } else if (a == "--warmup-ms") {
+      warmup_ms = std::atoi(need(i));
+    } else if (a == "--hosts") {
+      hosts = std::atoi(need(i));
+    } else if (a == "--load") {
+      load = std::atof(need(i));
+    } else if (a == "--lb") {
+      lb = need(i);
+    } else if (a == "--workload") {
+      workload_name = need(i);
+    } else if (a == "--help" || a == "-h") {
+      usage("usage");
+    } else {
+      usage(("unknown flag: " + a).c_str());
+    }
+  }
+  if (runs < 2) usage("--runs must be >= 2");
+
+  debug::DigestScenario s;
+  s.topo = net::testbed_baseline();
+  s.topo.hosts_per_leaf = hosts;
+  s.lb = make_lb(lb);
+  s.dist = make_dist(workload_name);
+  s.load = load;
+  s.warmup = sim::milliseconds(warmup_ms);
+  s.measure = sim::milliseconds(duration_ms);
+  s.fabric_seed = seed;
+  s.traffic_seed = seed * 31 + 7;
+
+  std::printf("determinism_audit: %s workload, lb=%s, load=%.2f, seed=%llu, "
+              "%d runs\n",
+              workload_name.c_str(), lb.c_str(), load,
+              static_cast<unsigned long long>(seed), runs);
+
+  std::vector<debug::RunDigests> results;
+  for (int r = 0; r < runs; ++r) {
+    results.push_back(debug::run_digest_trial(s));
+    const auto& d = results.back();
+    std::printf("  run %d: fct=%016llx trace=%016llx events=%llu flows=%llu%s\n",
+                r + 1, static_cast<unsigned long long>(d.fct),
+                static_cast<unsigned long long>(d.trace),
+                static_cast<unsigned long long>(d.events),
+                static_cast<unsigned long long>(d.flows),
+                d.drained ? "" : " (drain incomplete)");
+  }
+
+  bool ok = true;
+  for (int r = 1; r < runs; ++r) {
+    if (results[static_cast<std::size_t>(r)] == results[0]) continue;
+    ok = false;
+    const auto& d = results[static_cast<std::size_t>(r)];
+    std::fprintf(stderr, "MISMATCH run %d vs run 1:%s%s%s\n", r + 1,
+                 d.fct != results[0].fct ? " fct-digest" : "",
+                 d.trace != results[0].trace ? " event-trace-digest" : "",
+                 d.events != results[0].events ? " event-count" : "");
+  }
+  std::printf("%s\n", ok ? "DETERMINISTIC: all runs identical"
+                         : "NON-DETERMINISTIC: digest mismatch");
+  return ok ? 0 : 1;
+}

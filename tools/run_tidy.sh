@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# run_tidy.sh — clang-tidy driver for the CONGA repo.
+#
+# Usage:
+#   tools/run_tidy.sh [--build-dir DIR] [--changed [BASE]] [--fix] [FILES...]
+#
+#   --build-dir DIR   build tree with compile_commands.json
+#                     (default: ./build; configured automatically if missing)
+#   --changed [BASE]  lint only files changed vs git BASE (default: origin/main,
+#                     falling back to HEAD~1) — the CI "tidy on changed files" mode
+#   --fix             apply clang-tidy fix-its in place
+#   FILES...          explicit files to lint (overrides --changed)
+#
+# With no file selection, lints every .cpp under src/ and tools/.
+# Exits 0 with a notice when clang-tidy is not installed, so developer
+# machines without LLVM don't fail local hooks; CI installs clang-tidy and
+# gets the real gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+FIX=""
+CHANGED=""
+BASE=""
+FILES=()
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --changed)
+      CHANGED=1; shift
+      if [ $# -gt 0 ] && [[ "$1" != --* ]] && [[ "$1" != *.cpp ]] && [[ "$1" != *.hpp ]]; then
+        BASE="$1"; shift
+      fi ;;
+    --fix) FIX="--fix"; shift ;;
+    -h|--help) sed -n '2,18p' "$0"; exit 0 ;;
+    *) FILES+=("$1"); shift ;;
+  esac
+done
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_tidy.sh: $TIDY not found; skipping lint (install clang-tidy to enable)."
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy.sh: configuring $BUILD_DIR for compile_commands.json"
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+
+if [ ${#FILES[@]} -eq 0 ]; then
+  if [ -n "$CHANGED" ]; then
+    if [ -z "$BASE" ]; then
+      if git rev-parse --verify -q origin/main >/dev/null; then
+        BASE=origin/main
+      else
+        BASE=HEAD~1
+      fi
+    fi
+    # Translation units only; headers get covered via HeaderFilterRegex.
+    mapfile -t FILES < <(git diff --name-only --diff-filter=ACMR "$BASE" -- \
+                           'src/*.cpp' 'tools/*.cpp' | sort -u)
+    if [ ${#FILES[@]} -eq 0 ]; then
+      echo "run_tidy.sh: no changed .cpp files vs $BASE; nothing to lint."
+      exit 0
+    fi
+  else
+    mapfile -t FILES < <(find src tools -name '*.cpp' | sort)
+  fi
+fi
+
+echo "run_tidy.sh: linting ${#FILES[@]} file(s) with $TIDY (build dir: $BUILD_DIR)"
+STATUS=0
+for f in "${FILES[@]}"; do
+  [ -f "$f" ] || continue
+  echo "--- $f"
+  "$TIDY" -p "$BUILD_DIR" $FIX "$f" || STATUS=1
+done
+exit $STATUS
