@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/parallel_runner.hpp"
+
 namespace conga::bench {
 
 inline bool full_mode(int argc, char** argv) {
@@ -23,11 +25,30 @@ inline bool full_mode(int argc, char** argv) {
   return env != nullptr && env[0] == '1';
 }
 
+/// Worker threads for independent experiment cells: `--jobs N` beats
+/// CONGA_BENCH_JOBS beats hardware concurrency; 1 = sequential (today's
+/// behaviour). Results are deterministic for any value (see
+/// runtime/parallel_runner.hpp).
+inline int jobs_mode(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      const int n = std::atoi(argv[i + 1]);
+      if (n > 0) return n;
+    }
+  }
+  return runtime::default_jobs();
+}
+
 inline void print_header(const std::string& title, bool full) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("mode: %s\n", full ? "FULL (paper-scale)" : "SCALED (default; --full for paper-scale)");
   std::printf("==============================================================\n");
+}
+
+inline void print_header(const std::string& title, bool full, int jobs) {
+  print_header(title, full);
+  std::printf("jobs: %d (--jobs N / CONGA_BENCH_JOBS to change)\n", jobs);
 }
 
 /// Prints one row of right-aligned columns: label then numeric cells.

@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "lb/factories.hpp"
+#include "runtime/parallel_runner.hpp"
 #include "tcp/mptcp_connection.hpp"
 #include "workload/experiment.hpp"
 
@@ -48,32 +50,50 @@ inline std::vector<GridScheme> standard_schemes(const GridConfig& g) {
   return out;
 }
 
-inline void run_and_print_grid(const GridConfig& g) {
+inline void run_and_print_grid(const GridConfig& g, int jobs = 1) {
   const auto schemes = standard_schemes(g);
 
   struct Cell {
     workload::ExperimentResult r;
   };
+  // Every (scheme, load) cell is an independent simulation: flatten the grid
+  // and let the parallel runner execute cells concurrently. Cell results are
+  // committed by index, so the printed tables are identical for any jobs
+  // value; only the stderr progress lines interleave in completion order.
+  const std::size_t n_loads = g.loads_pct.size();
+  std::mutex progress_mu;
+  const std::vector<workload::ExperimentResult> cells =
+      runtime::parallel_map<workload::ExperimentResult>(
+          schemes.size() * n_loads, jobs, [&](std::size_t i) {
+            const std::size_t s = i / n_loads;
+            const int load = g.loads_pct[i % n_loads];
+            workload::ExperimentConfig cfg;
+            cfg.topo = g.topo;
+            cfg.dist = g.dist;
+            cfg.load = load / 100.0;
+            cfg.transport = schemes[s].transport;
+            cfg.lb = schemes[s].lb;
+            cfg.warmup = g.warmup;
+            cfg.measure = g.measure;
+            cfg.max_drain = g.max_drain;
+            workload::ExperimentResult r = workload::run_fct_experiment(cfg);
+            {
+              const std::lock_guard<std::mutex> lock(progress_mu);
+              std::fprintf(stderr,
+                           "  [%s @ %d%%: %zu flows, %.0f%% completed]\n",
+                           schemes[s].name.c_str(), load, r.flows,
+                           r.completed_fraction * 100);
+            }
+            return r;
+          });
+
   // Average normalized FCT is tail-sensitive (a one-packet flow that loses
   // its packet costs ~1000x optimal); the median panel below gives the
   // tail-robust view.
   std::vector<std::vector<Cell>> grid(schemes.size());
-
   for (std::size_t s = 0; s < schemes.size(); ++s) {
-    for (int load : g.loads_pct) {
-      workload::ExperimentConfig cfg;
-      cfg.topo = g.topo;
-      cfg.dist = g.dist;
-      cfg.load = load / 100.0;
-      cfg.transport = schemes[s].transport;
-      cfg.lb = schemes[s].lb;
-      cfg.warmup = g.warmup;
-      cfg.measure = g.measure;
-      cfg.max_drain = g.max_drain;
-      grid[s].push_back({workload::run_fct_experiment(cfg)});
-      std::fprintf(stderr, "  [%s @ %d%%: %zu flows, %.0f%% completed]\n",
-                   schemes[s].name.c_str(), load, grid[s].back().r.flows,
-                   grid[s].back().r.completed_fraction * 100);
+    for (std::size_t i = 0; i < n_loads; ++i) {
+      grid[s].push_back({cells[s * n_loads + i]});
     }
   }
 

@@ -13,8 +13,9 @@ using namespace conga;
 
 int main(int argc, char** argv) {
   const bool full = bench::full_mode(argc, argv);
+  const int jobs = bench::jobs_mode(argc, argv);
   bench::print_header("Fig 9 — enterprise workload FCT (baseline topology)",
-                      full);
+                      full, jobs);
 
   bench::GridConfig g;
   g.topo = net::testbed_baseline();
@@ -30,6 +31,6 @@ int main(int argc, char** argv) {
   // single timeout. EXPERIMENTS.md discusses the substitution.
   g.tcp.min_rto = sim::milliseconds(10);
 
-  run_and_print_grid(g);
+  run_and_print_grid(g, jobs);
   return 0;
 }

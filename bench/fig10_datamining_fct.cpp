@@ -11,8 +11,9 @@ using namespace conga;
 
 int main(int argc, char** argv) {
   const bool full = bench::full_mode(argc, argv);
+  const int jobs = bench::jobs_mode(argc, argv);
   bench::print_header("Fig 10 — data-mining workload FCT (baseline topology)",
-                      full);
+                      full, jobs);
 
   bench::GridConfig g;
   g.topo = net::testbed_baseline();
@@ -28,6 +29,6 @@ int main(int argc, char** argv) {
   g.max_drain = full ? sim::seconds(5.0) : sim::seconds(2.0);
   g.tcp.min_rto = sim::milliseconds(10);
 
-  run_and_print_grid(g);
+  run_and_print_grid(g, jobs);
   return 0;
 }

@@ -66,8 +66,9 @@ void hotspot_queue_cdf(bool full) {
 
 int main(int argc, char** argv) {
   const bool full = bench::full_mode(argc, argv);
+  const int jobs = bench::jobs_mode(argc, argv);
   bench::print_header("Fig 11 — impact of link failure (asymmetric testbed)",
-                      full);
+                      full, jobs);
 
   for (const bool mining : {false, true}) {
     std::printf("\n===== %s workload =====\n",
@@ -83,7 +84,7 @@ int main(int argc, char** argv) {
                      : (mining ? sim::milliseconds(80) : sim::milliseconds(50));
     g.max_drain = full ? sim::seconds(5.0) : sim::seconds(2.0);
     g.tcp.min_rto = sim::milliseconds(10);
-    run_and_print_grid(g);
+    run_and_print_grid(g, jobs);
   }
 
   hotspot_queue_cdf(full);

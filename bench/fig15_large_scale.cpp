@@ -8,10 +8,12 @@
 // 10G edge (5-10% at 30% load), because slow edges let each fabric link
 // absorb several collided flows.
 #include <cstdio>
+#include <mutex>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "lb/factories.hpp"
+#include "runtime/parallel_runner.hpp"
 #include "workload/experiment.hpp"
 
 using namespace conga;
@@ -19,7 +21,7 @@ using namespace conga;
 namespace {
 
 void run_variant(const char* title, double host_bps, int hosts_per_leaf,
-                 int leaves, int spines, bool full) {
+                 int leaves, int spines, bool full, int jobs) {
   std::printf("\n===== %s =====\n", title);
   net::TopologyConfig topo;
   topo.num_leaves = leaves;
@@ -35,26 +37,40 @@ void run_variant(const char* title, double host_bps, int hosts_per_leaf,
   for (int l : loads) std::printf("%10d", l);
   std::printf("\n");
 
+  // Scheme-major flattened grid, run concurrently; results committed in
+  // deterministic cell order regardless of which worker finishes first.
+  std::mutex progress_mu;
+  const std::size_t n_loads = loads.size();
+  const std::vector<workload::ExperimentResult> cells =
+      runtime::parallel_map<workload::ExperimentResult>(
+          2 * n_loads, jobs, [&](std::size_t i) {
+            const bool use_conga = i >= n_loads;
+            const int load = loads[i % n_loads];
+            workload::ExperimentConfig cfg;
+            cfg.topo = topo;
+            cfg.dist = workload::web_search();
+            cfg.load = load / 100.0;
+            cfg.lb = use_conga ? core::conga() : lb::ecmp();
+            tcp::TcpConfig t;
+            t.min_rto = sim::milliseconds(10);
+            cfg.transport = tcp::make_tcp_flow_factory(t);
+            cfg.warmup = sim::milliseconds(10);
+            cfg.measure = full ? sim::milliseconds(150) : sim::milliseconds(60);
+            cfg.max_drain = sim::seconds(2.0);
+            workload::ExperimentResult r = workload::run_fct_experiment(cfg);
+            {
+              const std::lock_guard<std::mutex> lock(progress_mu);
+              std::fprintf(stderr, "  [%s @ %d%%: %zu flows]\n",
+                           use_conga ? "CONGA" : "ECMP", load, r.flows);
+            }
+            return r;
+          });
+
   std::vector<double> ecmp_avg, conga_avg, ecmp_med, conga_med;
-  for (const bool use_conga : {false, true}) {
-    for (int load : loads) {
-      workload::ExperimentConfig cfg;
-      cfg.topo = topo;
-      cfg.dist = workload::web_search();
-      cfg.load = load / 100.0;
-      cfg.lb = use_conga ? core::conga() : lb::ecmp();
-      tcp::TcpConfig t;
-      t.min_rto = sim::milliseconds(10);
-      cfg.transport = tcp::make_tcp_flow_factory(t);
-      cfg.warmup = sim::milliseconds(10);
-      cfg.measure = full ? sim::milliseconds(150) : sim::milliseconds(60);
-      cfg.max_drain = sim::seconds(2.0);
-      const auto r = workload::run_fct_experiment(cfg);
-      (use_conga ? conga_avg : ecmp_avg).push_back(r.avg_norm_fct);
-      (use_conga ? conga_med : ecmp_med).push_back(r.median_norm_fct);
-      std::fprintf(stderr, "  [%s @ %d%%: %zu flows]\n",
-                   use_conga ? "CONGA" : "ECMP", load, r.flows);
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const bool use_conga = i >= n_loads;
+    (use_conga ? conga_avg : ecmp_avg).push_back(cells[i].avg_norm_fct);
+    (use_conga ? conga_med : ecmp_med).push_back(cells[i].median_norm_fct);
   }
   std::printf("%-12s", "ECMP");
   for (std::size_t i = 0; i < loads.size(); ++i) std::printf("%10.2f", 1.0);
@@ -75,19 +91,23 @@ void run_variant(const char* title, double host_bps, int hosts_per_leaf,
 
 int main(int argc, char** argv) {
   const bool full = bench::full_mode(argc, argv);
+  const int jobs = bench::jobs_mode(argc, argv);
   bench::print_header(
-      "Fig 15 — large-scale web-search workload, 3:1 oversubscription", full);
+      "Fig 15 — large-scale web-search workload, 3:1 oversubscription", full,
+      jobs);
 
   if (full) {
     // Paper scale: 8 leaves x 48 x 10G / 12 spines... capped at what the
     // 4-bit LBTag allows with single links: 8 leaves, 12 spines.
-    run_variant("(a) 10G access links, 384 servers", 10e9, 48, 8, 4, full);
-    run_variant("(b) 40G access links, 96 servers", 40e9, 12, 8, 4, full);
+    run_variant("(a) 10G access links, 384 servers", 10e9, 48, 8, 4, full,
+                jobs);
+    run_variant("(b) 40G access links, 96 servers", 40e9, 12, 8, 4, full,
+                jobs);
   } else {
     run_variant("(a) 10G access links, 96 servers (scaled)", 10e9, 24, 4, 2,
-                full);
+                full, jobs);
     run_variant("(b) 40G access links, 24 servers (scaled)", 40e9, 6, 4, 2,
-                full);
+                full, jobs);
   }
   return 0;
 }

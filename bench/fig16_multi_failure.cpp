@@ -7,16 +7,15 @@
 // largest at the (remote) spine downlinks adjacent to failures, which ECMP
 // overloads because it spreads leaf uplink load evenly regardless.
 #include <algorithm>
-#include <algorithm>
 #include <cstdio>
-#include <tuple>
-#include <tuple>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "lb/factories.hpp"
 #include "net/fabric.hpp"
+#include "runtime/parallel_runner.hpp"
 #include "workload/traffic_gen.hpp"
 
 using namespace conga;
@@ -116,12 +115,18 @@ void summarize(const char* what, std::vector<double> ecmp,
 
 int main(int argc, char** argv) {
   const bool full = bench::full_mode(argc, argv);
+  const int jobs = bench::jobs_mode(argc, argv);
   bench::print_header(
       "Fig 16 — multi-failure fabric (6 leaves x 4 spines x 3 links, 9 down)",
-      full);
+      full, jobs);
 
-  const PortLoads ecmp = run(lb::ecmp(), full);
-  const PortLoads conga = run(core::conga(), full);
+  // The two schemes are independent whole-fabric simulations; run them
+  // concurrently (results committed by index).
+  const std::vector<PortLoads> runs = runtime::parallel_map<PortLoads>(
+      2, jobs,
+      [&](std::size_t i) { return run(i == 0 ? lb::ecmp() : core::conga(), full); });
+  const PortLoads& ecmp = runs[0];
+  const PortLoads& conga = runs[1];
 
   std::printf("\nper-port time-averaged queue (KB): leaf uplinks\n");
   std::printf("%-14s%12s%12s\n", "link", "ECMP", "CONGA");

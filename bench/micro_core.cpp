@@ -2,6 +2,9 @@
 // ASIC implements in ~2.4M gates) and the simulator's own hot paths.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "core/conga_lb.hpp"
 #include "core/congestion_tables.hpp"
 #include "core/dre.hpp"
@@ -136,12 +139,76 @@ void BM_SchedulerScheduleDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerScheduleDispatch);
 
+// The trace hook must cost one predictable branch when unset; this is the
+// hook-enabled companion to BM_SchedulerScheduleDispatch, so the delta is
+// the whole observability overhead (satellite: zero-cost when disabled).
+void BM_SchedulerScheduleDispatchTraced(benchmark::State& state) {
+  sim::Scheduler sched;
+  std::uint64_t sink = 0;
+  sched.set_trace_hook(
+      [&sink](sim::TimeNs t, sim::EventId id) { sink ^= t ^ id; });
+  sim::TimeNs t = 0;
+  for (auto _ : state) {
+    sched.schedule_at(++t, [] {});
+    sched.run_until(t);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SchedulerScheduleDispatchTraced);
+
+// TCP-timer re-arm pattern: schedule then cancel without dispatching. With
+// the generation-checked slots this is two O(1) slot ops plus one lazy heap
+// node; with the old unordered_set lazy cancel it was a rehashing insert on
+// every cancel.
+void BM_ScheduleCancelChurn(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::TimeNs t = 0;
+  for (auto _ : state) {
+    const sim::EventId id = sched.schedule_at(++t + 1000, [] {});
+    sched.cancel(id);
+    benchmark::DoNotOptimize(id);
+  }
+  sched.run();
+}
+BENCHMARK(BM_ScheduleCancelChurn);
+
+// Dispatch against a standing backlog so sift operations have real depth.
+void BM_SchedulerDispatchDepth1k(benchmark::State& state) {
+  sim::Scheduler sched;
+  for (int i = 0; i < 1000; ++i) {
+    sched.schedule_at(1'000'000'000 + i, [] {});
+  }
+  sim::TimeNs t = 0;
+  for (auto _ : state) {
+    sched.schedule_at(++t, [] {});
+    sched.run_until(t);
+  }
+}
+BENCHMARK(BM_SchedulerDispatchDepth1k);
+
+// Steady-state packet cost: each iteration acquires from and releases to
+// the thread-local pool — no allocator traffic after the first chunk.
 void BM_PacketAlloc(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(net::make_packet());
   }
+  state.counters["pool_chunk_allocs"] = static_cast<double>(
+      net::packet_pool_stats().chunk_allocs);
 }
 BENCHMARK(BM_PacketAlloc);
+
+// Pool behaviour with a realistic number of packets in flight.
+void BM_PacketAllocInFlight(benchmark::State& state) {
+  std::vector<net::PacketPtr> in_flight;
+  in_flight.reserve(64);
+  std::size_t next = 0;
+  for (int i = 0; i < 64; ++i) in_flight.push_back(net::make_packet());
+  for (auto _ : state) {
+    in_flight[next] = net::make_packet();  // releases the old, acquires new
+    next = (next + 1) % in_flight.size();
+  }
+}
+BENCHMARK(BM_PacketAllocInFlight);
 
 void BM_EndToEndPacketForwarding(benchmark::State& state) {
   // Whole-fabric cost of one inter-leaf packet (encap, CONGA decision,

@@ -1,0 +1,317 @@
+// perf_baseline — machine-readable performance baseline (BENCH_core.json).
+//
+// Times the simulator's hot-path primitives, a single-simulation events/sec
+// figure, and the wall-clock of a small scheme x load grid sequentially vs
+// under the parallel experiment runner, then writes everything as JSON so
+// the perf trajectory is visible (and diffable) PR-over-PR. The grid phase
+// doubles as a determinism check: per-cell FCT and event-trace digests must
+// be identical between --jobs 1 and --jobs N.
+//
+// Flags:
+//   --out PATH   output file                     [default BENCH_core.json]
+//   --jobs N     parallel grid worker count      [default: CONGA_BENCH_JOBS
+//                                                 or hardware concurrency]
+//   --full       longer measurement windows (for by-hand investigations)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "debug/determinism.hpp"
+#include "lb/factories.hpp"
+#include "net/fabric.hpp"
+#include "runtime/parallel_runner.hpp"
+#include "tools/bench_json.hpp"
+#include "workload/experiment.hpp"
+
+using namespace conga;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct MicroResult {
+  std::string name;
+  double ns_per_op = 0;
+  std::uint64_t iterations = 0;
+};
+
+/// Runs `op(batch)` with growing batches until at least `min_time` seconds
+/// of work has been timed, then reports ns/op over the largest batch.
+template <typename Op>
+MicroResult time_micro(const std::string& name, Op op,
+                       double min_time = 0.25) {
+  std::uint64_t batch = 1024;
+  for (;;) {
+    const Clock::time_point start = Clock::now();
+    op(batch);
+    const double elapsed = seconds_since(start);
+    if (elapsed >= min_time || batch >= (1ULL << 30)) {
+      MicroResult r;
+      r.name = name;
+      r.ns_per_op = elapsed * 1e9 / static_cast<double>(batch);
+      r.iterations = batch;
+      return r;
+    }
+    const double scale = elapsed > 0 ? min_time / elapsed * 1.4 : 16.0;
+    batch = static_cast<std::uint64_t>(static_cast<double>(batch) *
+                                       (scale > 16.0 ? 16.0 : scale)) +
+            1;
+  }
+}
+
+std::vector<MicroResult> run_micro_suite() {
+  std::vector<MicroResult> out;
+
+  out.push_back(time_micro("scheduler_schedule_dispatch", [](std::uint64_t n) {
+    sim::Scheduler sched;
+    sim::TimeNs t = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sched.schedule_at(++t, [] {});
+      sched.run_until(t);
+    }
+  }));
+
+  // TCP timer re-arm pattern: schedule then cancel, never dispatching.
+  out.push_back(time_micro("scheduler_schedule_cancel", [](std::uint64_t n) {
+    sim::Scheduler sched;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const sim::EventId id =
+          sched.schedule_after(1000 + static_cast<sim::TimeNs>(i % 64), [] {});
+      sched.cancel(id);
+    }
+  }));
+
+  // Dispatch with a populated queue (sift depth > 0), closer to a busy sim.
+  out.push_back(time_micro("scheduler_dispatch_depth1k", [](std::uint64_t n) {
+    sim::Scheduler sched;
+    sim::TimeNs t = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(1'000'000'000 + i, [] {});  // standing backlog
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sched.schedule_at(++t, [] {});
+      sched.run_until(t);
+    }
+    sched.run();
+  }));
+
+  out.push_back(time_micro("packet_acquire_release", [](std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      net::PacketPtr p = net::make_packet();
+      (void)p;
+    }
+  }));
+
+  out.push_back(
+      time_micro("end_to_end_packet_forwarding", [](std::uint64_t n) {
+        sim::Scheduler sched;
+        net::Fabric fabric(sched, net::testbed_baseline(), 1);
+        fabric.install_lb(core::conga());
+        std::uint16_t port = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          net::PacketPtr pkt = net::make_packet();
+          pkt->flow = net::FlowKey{0, 40, ++port, 7};
+          pkt->size_bytes = 1500;
+          fabric.host(0).send(std::move(pkt));
+          sched.run();
+        }
+      }));
+
+  return out;
+}
+
+struct SingleSimResult {
+  double wall_s = 0;
+  std::uint64_t events = 0;
+  std::uint64_t flows = 0;
+  double events_per_sec = 0;
+};
+
+debug::DigestScenario fig09_cell(double load, std::uint64_t seed, bool full) {
+  debug::DigestScenario s;
+  s.topo = net::testbed_baseline();
+  s.topo.hosts_per_leaf = 16;
+  s.lb = core::conga();
+  s.dist = workload::enterprise();
+  s.load = load;
+  s.warmup = sim::milliseconds(full ? 10 : 2);
+  s.measure = sim::milliseconds(full ? 50 : 10);
+  s.fabric_seed = seed;
+  s.traffic_seed = seed * 31 + 7;
+  return s;
+}
+
+SingleSimResult run_single_sim(bool full) {
+  const Clock::time_point start = Clock::now();
+  const debug::RunDigests d = debug::run_digest_trial(fig09_cell(0.6, 1, full));
+  SingleSimResult r;
+  r.wall_s = seconds_since(start);
+  r.events = d.events;
+  r.flows = d.flows;
+  r.events_per_sec =
+      r.wall_s > 0 ? static_cast<double>(d.events) / r.wall_s : 0;
+  return r;
+}
+
+struct GridResult {
+  std::size_t cells = 0;
+  int jobs = 1;
+  double wall_s_jobs1 = 0;
+  double wall_s_jobsN = 0;
+  double speedup = 0;
+  std::uint64_t total_events = 0;
+  bool deterministic = false;
+};
+
+GridResult run_grid_phase(int jobs, bool full) {
+  // The scaled fig09 grid shape: scheme x load, each cell an independent
+  // simulation with its own seeds.
+  struct Cell {
+    bool conga;
+    double load;
+  };
+  std::vector<Cell> cells;
+  for (const bool conga : {false, true}) {
+    for (const double load : {0.3, 0.6, 0.9}) cells.push_back({conga, load});
+  }
+
+  auto run_cell = [&](std::size_t i) {
+    debug::DigestScenario s =
+        fig09_cell(cells[i].load, 2 + static_cast<std::uint64_t>(i), full);
+    if (!cells[i].conga) s.lb = lb::ecmp();
+    return debug::run_digest_trial(s);
+  };
+
+  GridResult g;
+  g.cells = cells.size();
+  g.jobs = jobs;
+
+  Clock::time_point start = Clock::now();
+  const std::vector<debug::RunDigests> seq =
+      runtime::parallel_map<debug::RunDigests>(cells.size(), 1, run_cell);
+  g.wall_s_jobs1 = seconds_since(start);
+
+  start = Clock::now();
+  const std::vector<debug::RunDigests> par =
+      runtime::parallel_map<debug::RunDigests>(cells.size(), jobs, run_cell);
+  g.wall_s_jobsN = seconds_since(start);
+
+  g.speedup = g.wall_s_jobsN > 0 ? g.wall_s_jobs1 / g.wall_s_jobsN : 0;
+  g.deterministic = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    g.total_events += seq[i].events;
+    if (!(seq[i] == par[i])) g.deterministic = false;
+  }
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_core.json";
+  int jobs = runtime::default_jobs();
+  const bool full = bench::full_mode(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n > 0) jobs = n;
+    }
+  }
+
+  std::fprintf(stderr, "perf_baseline: micro suite...\n");
+  const std::vector<MicroResult> micro = run_micro_suite();
+  const net::PacketPoolStats pool = net::packet_pool_stats();
+
+  std::fprintf(stderr, "perf_baseline: single-sim events/sec...\n");
+  const SingleSimResult single = run_single_sim(full);
+
+  std::fprintf(stderr, "perf_baseline: grid wall-clock (jobs=1 vs jobs=%d)...\n",
+               jobs);
+  const GridResult grid = run_grid_phase(jobs, full);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_baseline: cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  tools::JsonWriter w(f);
+  w.begin_object();
+  w.kv("schema", "conga-bench-core-v1");
+  w.key("build");
+  w.begin_object();
+  w.kv("compiler", __VERSION__);
+#ifdef NDEBUG
+  w.kv("ndebug", true);
+#else
+  w.kv("ndebug", false);
+#endif
+  w.kv("hardware_concurrency",
+       static_cast<std::int64_t>(runtime::default_jobs()));
+  w.end_object();
+
+  w.key("micro");
+  w.begin_object();
+  for (const MicroResult& m : micro) {
+    w.key(m.name);
+    w.begin_object();
+    w.kv("ns_per_op", m.ns_per_op);
+    w.kv("ops_per_sec", m.ns_per_op > 0 ? 1e9 / m.ns_per_op : 0.0);
+    w.kv("iterations", m.iterations);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("packet_pool");
+  w.begin_object();
+  w.kv("acquired", pool.acquired);
+  w.kv("released", pool.released);
+  w.kv("chunk_allocs", pool.chunk_allocs);
+  w.kv("allocs_per_million_packets",
+       pool.acquired > 0 ? static_cast<double>(pool.chunk_allocs) * 1e6 /
+                               static_cast<double>(pool.acquired)
+                         : 0.0);
+  w.end_object();
+
+  w.key("single_sim");
+  w.begin_object();
+  w.kv("scenario", "fig09 enterprise cell, conga, 60% load (scaled)");
+  w.kv("wall_s", single.wall_s);
+  w.kv("events", single.events);
+  w.kv("flows", single.flows);
+  w.kv("events_per_sec", single.events_per_sec);
+  w.end_object();
+
+  w.key("grid");
+  w.begin_object();
+  w.kv("scenario", "fig09 grid: {ecmp,conga} x {30,60,90}% (scaled)");
+  w.kv("cells", static_cast<std::uint64_t>(grid.cells));
+  w.kv("jobs", grid.jobs);
+  w.kv("wall_s_jobs1", grid.wall_s_jobs1);
+  w.kv("wall_s_jobsN", grid.wall_s_jobsN);
+  w.kv("speedup", grid.speedup);
+  w.kv("total_events", grid.total_events);
+  w.kv("deterministic_across_jobs", grid.deterministic);
+  w.end_object();
+
+  w.end_object();
+  w.finish();
+  std::fclose(f);
+
+  std::fprintf(stderr,
+               "perf_baseline: wrote %s (single-sim %.2fM events/s; grid "
+               "speedup %.2fx with %d jobs; %s)\n",
+               out_path.c_str(), single.events_per_sec / 1e6, grid.speedup,
+               grid.jobs,
+               grid.deterministic ? "deterministic across jobs"
+                                  : "NON-DETERMINISTIC");
+  return grid.deterministic ? 0 : 1;
+}

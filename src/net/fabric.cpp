@@ -1,6 +1,7 @@
 #include "net/fabric.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -82,18 +83,18 @@ void Fabric::build() {
     LinkConfig nic = edge;
     nic.queue_capacity_bytes = cfg_.nic_queue_bytes;
     nic.ecn_threshold_bytes = 0;  // hosts don't CE-mark their own qdisc
-    auto up = std::make_unique<Link>(
-        sched_, "host" + std::to_string(h) + "->leaf" + std::to_string(l),
-        nic);
+    char up_name[48];
+    std::snprintf(up_name, sizeof up_name, "host%d->leaf%d", h, l);
+    auto up = std::make_unique<Link>(sched_, up_name, nic);
     up->connect_to(leaves_[static_cast<std::size_t>(l)].get(), h);
     host->attach_uplink(up.get());
     host_up_.push_back(up.get());
 
     LinkConfig down_cfg = edge;
     down_cfg.shared_pool = leaf_pool(l);  // a leaf egress port
-    auto down = std::make_unique<Link>(
-        sched_, "leaf" + std::to_string(l) + "->host" + std::to_string(h),
-        down_cfg);
+    char down_name[48];
+    std::snprintf(down_name, sizeof down_name, "leaf%d->host%d", l, h);
+    auto down = std::make_unique<Link>(sched_, down_name, down_cfg);
     down->connect_to(host.get(), 0);
     leaves_[static_cast<std::size_t>(l)]->add_host_port(h, down.get());
     host_down_.push_back(down.get());
@@ -130,11 +131,13 @@ void Fabric::build() {
         fab.ce_sum = cfg_.ce_sum;
         fab.dre = cfg_.dre;
 
-        const std::string tag = "l" + std::to_string(l) + "s" +
-                                std::to_string(s) + "p" + std::to_string(p);
+        char up_name[48];
+        std::snprintf(up_name, sizeof up_name, "up:l%ds%dp%d", l, s, p);
+        char down_name[48];
+        std::snprintf(down_name, sizeof down_name, "down:l%ds%dp%d", l, s, p);
         LinkConfig up_cfg = fab;
         up_cfg.shared_pool = leaf_pool(l);  // leaf egress toward the spine
-        auto up = std::make_unique<Link>(sched_, "up:" + tag, up_cfg);
+        auto up = std::make_unique<Link>(sched_, up_name, up_cfg);
         up->connect_to(spines_[static_cast<std::size_t>(s)].get(), l);
         leaves_[static_cast<std::size_t>(l)]->add_uplink(up.get(), s);
         up_links_[static_cast<std::size_t>(l)][static_cast<std::size_t>(s)]
@@ -142,7 +145,7 @@ void Fabric::build() {
         fabric_links_.push_back(up.get());
 
         fab.shared_pool = spine_pool(s);  // spine egress toward the leaf
-        auto down = std::make_unique<Link>(sched_, "down:" + tag, fab);
+        auto down = std::make_unique<Link>(sched_, down_name, fab);
         down->connect_to(leaves_[static_cast<std::size_t>(l)].get(),
                          1000 + s * P + p);
         spines_[static_cast<std::size_t>(s)]->add_downlink(l, down.get());

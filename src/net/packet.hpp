@@ -113,10 +113,31 @@ struct Packet {
   FlowKey wire_key() const { return tcp.is_ack ? reversed(flow) : flow; }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+/// Returns a packet to the calling thread's free-list pool (see PacketPool).
+struct PacketDeleter {
+  void operator()(Packet* p) const noexcept;
+};
 
-/// Creates a packet with a fresh globally unique id.
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+/// Creates a packet with a fresh globally unique id. Steady-state traffic is
+/// allocation-free: packets come from a thread-local free-list pool that
+/// grows in chunks and is refilled by PacketDeleter, so after warmup
+/// make_packet() is a pop + field reset. Each simulation runs on one thread
+/// (workers of the parallel experiment runner included), so packets return
+/// to the pool they came from; a packet must not outlive the thread that
+/// allocated it.
 PacketPtr make_packet();
+
+/// Introspection for the calling thread's packet pool (perf baselines and
+/// the allocation-freedom microbenchmark assert against these).
+struct PacketPoolStats {
+  std::uint64_t acquired = 0;     ///< make_packet() calls on this thread
+  std::uint64_t released = 0;     ///< packets returned to this thread's pool
+  std::uint64_t chunk_allocs = 0; ///< times the pool had to grow (malloc)
+  std::size_t free_size = 0;      ///< packets currently in the free list
+};
+PacketPoolStats packet_pool_stats();
 
 }  // namespace conga::net
 

@@ -1,6 +1,7 @@
 #include "net/pod_fabric.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
 
 namespace conga::net {
@@ -89,13 +90,14 @@ void PodFabric::build() {
     auto host = std::make_unique<Host>(h, l);
     LinkConfig nic = edge;
     nic.queue_capacity_bytes = cfg_.nic_queue_bytes;
-    auto up = std::make_unique<Link>(
-        sched_, "host" + std::to_string(h) + "->leaf" + std::to_string(l), nic);
+    char up_name[48];
+    std::snprintf(up_name, sizeof up_name, "host%d->leaf%d", h, l);
+    auto up = std::make_unique<Link>(sched_, up_name, nic);
     up->connect_to(leaves_[static_cast<std::size_t>(l)].get(), h);
     host->attach_uplink(up.get());
-    auto down = std::make_unique<Link>(
-        sched_, "leaf" + std::to_string(l) + "->host" + std::to_string(h),
-        edge);
+    char down_name[48];
+    std::snprintf(down_name, sizeof down_name, "leaf%d->host%d", l, h);
+    auto down = std::make_unique<Link>(sched_, down_name, edge);
     down->connect_to(host.get(), 0);
     leaves_[static_cast<std::size_t>(l)]->add_host_port(h, down.get());
     hosts_.push_back(std::move(host));
@@ -115,13 +117,15 @@ void PodFabric::build() {
       const int l = p * Lp + lp;
       for (int s = 0; s < Sp; ++s) {
         SpineSwitch* spine = spines_[static_cast<std::size_t>(p * Sp + s)].get();
-        const std::string tag =
-            "l" + std::to_string(l) + "s" + std::to_string(p * Sp + s);
-        auto up = std::make_unique<Link>(sched_, "up:" + tag, fab);
+        char up_name[48];
+        std::snprintf(up_name, sizeof up_name, "up:l%ds%d", l, p * Sp + s);
+        char down_name[48];
+        std::snprintf(down_name, sizeof down_name, "down:l%ds%d", l, p * Sp + s);
+        auto up = std::make_unique<Link>(sched_, up_name, fab);
         up->connect_to(spine, l);
         leaves_[static_cast<std::size_t>(l)]->add_uplink(up.get(), p * Sp + s);
         fabric_links_.push_back(up.get());
-        auto down = std::make_unique<Link>(sched_, "down:" + tag, fab);
+        auto down = std::make_unique<Link>(sched_, down_name, fab);
         down->connect_to(leaves_[static_cast<std::size_t>(l)].get(), 1000 + s);
         spine->add_downlink(l, down.get());
         fabric_links_.push_back(down.get());
@@ -151,15 +155,17 @@ void PodFabric::build() {
         core_cfg.rate_bps =
             cfg_.core_link_bps * (o != nullptr ? o->rate_factor : 1.0);
         SpineSwitch* spine = spines_[static_cast<std::size_t>(p * Sp + s)].get();
-        const std::string tag = "p" + std::to_string(p) + "s" +
-                                std::to_string(s) + "c" + std::to_string(c);
-        auto up = std::make_unique<Link>(sched_, "core-up:" + tag, core_cfg);
+        char cu_name[48];
+        std::snprintf(cu_name, sizeof cu_name, "core-up:p%ds%dc%d", p, s, c);
+        char cd_name[48];
+        std::snprintf(cd_name, sizeof cd_name, "core-down:p%ds%dc%d", p, s, c);
+        auto up = std::make_unique<Link>(sched_, cu_name, core_cfg);
         up->connect_to(cores_[static_cast<std::size_t>(c)].get(), p * Sp + s);
         spine->add_core_uplink(up.get());
         up_to_core_[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)]
                    [static_cast<std::size_t>(c)] = up.get();
         fabric_links_.push_back(up.get());
-        auto down = std::make_unique<Link>(sched_, "core-down:" + tag, core_cfg);
+        auto down = std::make_unique<Link>(sched_, cd_name, core_cfg);
         down->connect_to(spine, 2000 + c);
         cores_[static_cast<std::size_t>(c)]->add_pod_link(p, down.get());
         down_from_core_[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)]

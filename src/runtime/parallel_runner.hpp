@@ -1,0 +1,56 @@
+// Parallel experiment runner.
+//
+// Every paper figure is a scheme x load x seed grid of fully independent
+// simulations: the codebase has no global mutable simulation state (no
+// singleton scheduler, per-component RNG streams), so each worker thread can
+// own a complete Scheduler/Fabric/Rng and run whole cells concurrently.
+// This header provides the small thread-pool primitives the benches build
+// on:
+//
+//   * parallel_for(count, jobs, task)  — runs task(0..count-1) across
+//     `jobs` worker threads (inline on the calling thread when jobs <= 1,
+//     which is bit-for-bit today's sequential behaviour).
+//   * parallel_map<R>(count, jobs, fn) — same, committing fn(i) into slot i
+//     of the result vector, so results are in deterministic cell order
+//     regardless of completion order.
+//
+// Determinism: cells are claimed from a shared atomic counter, so the
+// *assignment* of cells to threads varies run to run — but each cell is a
+// closed simulation whose outputs depend only on its config and seeds, so
+// per-cell results (FCT digests, event-trace digests) are identical for any
+// jobs value. tools/determinism_audit --jobs N enforces exactly this.
+//
+// Threading model details live in DESIGN.md ("Threading model").
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace conga::runtime {
+
+/// Worker count implied by the environment: CONGA_BENCH_JOBS if set to a
+/// positive integer, else std::thread::hardware_concurrency(), floored at 1.
+int default_jobs();
+
+/// Runs task(i) for i in [0, count) using up to `jobs` worker threads.
+/// jobs <= 1 (or count <= 1) runs inline on the calling thread in index
+/// order — exactly the sequential behaviour. Tasks must not touch shared
+/// mutable state (give each cell its own Scheduler/Fabric/Rng). The first
+/// exception thrown by a task is rethrown on the calling thread after all
+/// workers join.
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& task);
+
+/// parallel_for committing results by index: out[i] = fn(i). R must be
+/// default-constructible and assignable (ExperimentResult and RunDigests
+/// are).
+template <typename R>
+std::vector<R> parallel_map(std::size_t count, int jobs,
+                            const std::function<R(std::size_t)>& fn) {
+  std::vector<R> out(count);
+  parallel_for(count, jobs, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace conga::runtime

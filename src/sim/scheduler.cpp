@@ -6,67 +6,133 @@
 
 namespace conga::sim {
 
-EventId Scheduler::schedule_at(TimeNs t, Callback cb) {
-  if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  heap_.push(Event{t, id, std::move(cb)});
-  return id;
+std::uint32_t Scheduler::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-void Scheduler::cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_id_) return;
-  cancelled_.insert(id);
+void Scheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.gen += 2;  // stays odd; invalidates outstanding ids and stale heap nodes
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
 
-bool Scheduler::pop_next(Event& out) {
-  while (!heap_.empty()) {
-    // Safe: we never mutate the key fields (time, id) through this reference,
-    // only move the callback out right before pop().
-    const Event& top = heap_.top();
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      heap_.pop();
-      continue;
+void Scheduler::sift_up(std::size_t i) {
+  const HeapNode node = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(node, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = node;
+}
+
+void Scheduler::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapNode node = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
     }
-    out.time = top.time;
-    out.id = top.id;
-    out.cb = std::move(top.cb);
-    heap_.pop();
-    return true;
+    if (!earlier(heap_[best], node)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = node;
+}
+
+void Scheduler::pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+bool Scheduler::settle_top() {
+  while (!heap_.empty()) {
+    const HeapNode& top = heap_.front();
+    if (slots_[top.slot].gen == top.gen) return true;
+    pop_top();  // stale: the event was cancelled and its slot released
   }
   return false;
 }
 
+void Scheduler::take_top(TimeNs& time, std::uint64_t& seq, Callback& cb) {
+  const HeapNode top = heap_.front();
+  time = top.time;
+  seq = top.seq;
+  cb = std::move(slots_[top.slot].cb);
+  release_slot(top.slot);
+  --live_;
+  pop_top();
+}
+
+EventId Scheduler::schedule_at(TimeNs t, Callback cb) {
+  if (t < now_) t = now_;
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t slot = acquire_slot();
+  const std::uint32_t gen = slots_[slot].gen;
+  slots_[slot].cb = std::move(cb);
+  heap_.push_back(HeapNode{t, seq, slot, gen});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return make_id(slot, gen);
+}
+
+void Scheduler::cancel(EventId id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id >> 32);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id);
+  // Generations are odd, so kInvalidEventId (gen 0) never matches; a fired
+  // or re-cancelled id fails the generation check below.
+  if ((gen & 1U) == 0 || slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.gen != gen) return;
+  s.cb = Callback{};  // destroy the payload (e.g. a captured packet) now
+  release_slot(slot);
+  --live_;
+}
+
 void Scheduler::run() {
   stopped_ = false;
-  Event ev;
-  while (!stopped_ && pop_next(ev)) {
-    CONGA_INVARIANT(check_time_monotonic("scheduler", now_, ev.time));
-    now_ = ev.time;
+  TimeNs time = 0;
+  std::uint64_t seq = 0;
+  Callback cb;
+  while (!stopped_ && settle_top()) {
+    take_top(time, seq, cb);
+    CONGA_INVARIANT(check_time_monotonic("scheduler", now_, time));
+    now_ = time;
     ++dispatched_;
-    if (trace_) trace_(ev.time, ev.id);
-    ev.cb();
+    if (trace_) trace_(time, seq);
+    cb();
+    cb = Callback{};  // release the payload before the next settle
   }
 }
 
 void Scheduler::run_until(TimeNs t) {
   stopped_ = false;
-  Event ev;
-  while (!stopped_) {
-    if (heap_.empty()) break;
-    // Skip cancelled heads without dispatching.
-    if (cancelled_.contains(heap_.top().id)) {
-      cancelled_.erase(heap_.top().id);
-      heap_.pop();
-      continue;
-    }
-    if (heap_.top().time > t) break;
-    if (!pop_next(ev)) break;
-    CONGA_INVARIANT(check_time_monotonic("scheduler", now_, ev.time));
-    now_ = ev.time;
+  TimeNs time = 0;
+  std::uint64_t seq = 0;
+  Callback cb;
+  while (!stopped_ && settle_top()) {
+    if (heap_.front().time > t) break;
+    take_top(time, seq, cb);
+    CONGA_INVARIANT(check_time_monotonic("scheduler", now_, time));
+    now_ = time;
     ++dispatched_;
-    if (trace_) trace_(ev.time, ev.id);
-    ev.cb();
+    if (trace_) trace_(time, seq);
+    cb();
+    cb = Callback{};
   }
   if (now_ < t) now_ = t;
 }

@@ -7,8 +7,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -17,6 +15,8 @@
 namespace conga::sim {
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
+/// Internally packs (slot index, generation); only values returned by
+/// schedule_at/schedule_after (and kInvalidEventId) are meaningful.
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
@@ -29,11 +29,16 @@ constexpr EventId kInvalidEventId = 0;
 ///
 /// Components hold a `Scheduler&` and schedule callbacks; there is no global
 /// singleton, so multiple independent simulations can coexist (which the
-/// tests exploit heavily).
+/// tests and the parallel experiment runner exploit heavily).
 ///
-/// Cancellation is lazy: cancel() records the id and the event is skipped
-/// when popped. This keeps the hot path (schedule/pop) allocation-free apart
-/// from the std::function payload.
+/// Implementation: a 4-ary implicit heap of 24-byte POD nodes ordered by
+/// (time, schedule sequence), indexing into a slot arena that owns the
+/// callbacks. Each slot carries a generation counter baked into the EventId,
+/// so cancel() is an O(1) generation bump — no per-dispatch hash-set lookup,
+/// and a stale id (already fired, already cancelled, never valid) can never
+/// corrupt the pending-event accounting. A cancelled event's node stays in
+/// the heap until it surfaces, where the generation mismatch discards it;
+/// its callback (and any packet it owns) is destroyed eagerly at cancel().
 class Scheduler {
  public:
   using Callback = UniqueFunction;
@@ -54,8 +59,10 @@ class Scheduler {
     return schedule_at(now_ + dt, std::move(cb));
   }
 
-  /// Cancels a pending event. Cancelling an already-fired or invalid id is a
-  /// harmless no-op (this makes timer management in TCP much simpler).
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled,
+  /// or invalid id is a harmless no-op (this makes timer management in TCP
+  /// much simpler). O(1): the slot's generation is bumped so the heap node
+  /// goes stale, and the callback is destroyed immediately.
   void cancel(EventId id);
 
   /// Runs until the event queue is empty or stop() is called.
@@ -70,41 +77,75 @@ class Scheduler {
   /// Number of events dispatched so far (useful for perf reporting).
   std::uint64_t events_dispatched() const { return dispatched_; }
 
-  /// Number of events currently pending (excluding cancelled ones).
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Number of events currently pending (excluding cancelled ones). Exact:
+  /// maintained as a live counter, so no amount of redundant cancel() calls
+  /// can make it drift (let alone underflow).
+  std::size_t pending() const { return live_; }
 
-  /// Observer invoked once per dispatched event with (time, id), in dispatch
-  /// order. Event ids are assigned in schedule order, so hashing this stream
+  /// Observer invoked once per dispatched event with (time, seq), in dispatch
+  /// order, where seq is the monotone schedule-order sequence number (1 for
+  /// the first event ever scheduled, and so on). Hashing this stream
   /// fingerprints the run's exact interleaving — the determinism auditor's
-  /// event-trace digest. Unset (the default) costs one branch per dispatch.
+  /// event-trace digest. Unset (the default) costs one predictable branch
+  /// per dispatch.
   using TraceHook = std::function<void(TimeNs, EventId)>;
   void set_trace_hook(TraceHook h) { trace_ = std::move(h); }
 
  private:
-  struct Event {
+  /// One pending (or stale) entry in the implicit 4-ary heap. Trivially
+  /// copyable and 24 bytes, so sift operations move PODs, not callbacks.
+  struct HeapNode {
     TimeNs time;
-    EventId id;
-    mutable Callback cb;  // moved out at dispatch; priority_queue top() is const
-  };
-  struct Later {
-    // std::priority_queue is a max-heap; invert to pop the earliest event,
-    // breaking equal-time ties by schedule order.
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
-    }
+    std::uint64_t seq;   ///< schedule-order tie-break; fed to the trace hook
+    std::uint32_t slot;  ///< index into slots_
+    std::uint32_t gen;   ///< slot generation this node refers to
   };
 
-  /// Pops the next non-cancelled event, or returns false if none remain.
-  bool pop_next(Event& out);
+  /// Callback arena entry. `gen` is odd while the slot identifies events
+  /// (so a packed EventId is never 0) and advances by 2 every time the slot
+  /// is released, invalidating outstanding ids and stale heap nodes. A
+  /// generation would have to wrap through 2^31 reuses of one slot while an
+  /// old id is still held for a stale handle to collide — out of reach of
+  /// any realistic run.
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffU;
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+
+  static bool earlier(const HeapNode& a, const HeapNode& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Removes the heap root (which must exist).
+  void pop_top();
+  /// Discards stale (cancelled) nodes at the root. Returns false when the
+  /// heap is empty, true when a live node is at the root.
+  bool settle_top();
+  /// Extracts the live root event into (time, seq, cb) and releases its
+  /// slot. Caller must have checked settle_top().
+  void take_top(TimeNs& time, std::uint64_t& seq, Callback& cb);
 
   TimeNs now_ = 0;
   TraceHook trace_;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;
+  std::size_t live_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<HeapNode> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace conga::sim

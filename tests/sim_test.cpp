@@ -1,6 +1,7 @@
 // Tests for the discrete-event scheduler and RNG utilities.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -145,6 +146,100 @@ TEST(Scheduler, MoveOnlyCaptureIsSupported) {
   sched.schedule_at(1, [p = std::move(payload), &seen] { seen = *p; });
   sched.run();
   EXPECT_EQ(seen, 42);
+}
+
+// Regression: cancel() on an already-fired or never-valid id used to insert
+// into the lazy-cancel set forever, so pending() (heap size minus cancelled
+// size) underflowed and wrapped to a huge size_t. The generation-checked
+// slots make such cancels true no-ops on the accounting.
+TEST(Scheduler, PendingSurvivesBogusCancels) {
+  Scheduler sched;
+  const EventId id = sched.schedule_at(1, [] {});
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_EQ(sched.pending(), 0u);
+  sched.cancel(id);              // already fired
+  sched.cancel(id);              // twice
+  sched.cancel(kInvalidEventId); // never valid
+  sched.cancel(9999);            // forged
+  EXPECT_EQ(sched.pending(), 0u);
+  sched.schedule_at(2, [] {});
+  EXPECT_EQ(sched.pending(), 1u);  // pre-fix: wrapped near SIZE_MAX
+  sched.run();
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Scheduler, DoubleCancelDecrementsPendingOnce) {
+  Scheduler sched;
+  const EventId a = sched.schedule_at(5, [] {});
+  sched.schedule_at(6, [] {});
+  EXPECT_EQ(sched.pending(), 2u);
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.cancel(a);  // second cancel of the same event: no-op
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Scheduler, StaleIdCannotCancelSlotReuse) {
+  // After an event fires, its slot is recycled for the next event with a
+  // fresh generation; the stale id must not cancel the new occupant.
+  Scheduler sched;
+  const EventId first = sched.schedule_at(1, [] {});
+  sched.run();
+  bool fired = false;
+  sched.schedule_at(2, [&] { fired = true; });  // reuses the slot
+  sched.cancel(first);                          // stale generation
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, HeavyCancelChurnKeepsOrderAndAccounting) {
+  // Interleaved schedule/cancel churn (the TCP timer pattern) across a
+  // backlog: survivors fire in (time, schedule order) and pending() stays
+  // exact throughout.
+  Scheduler sched;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(sched.schedule_at(100 + (i % 10), [&fired, i] {
+      fired.push_back(i);
+    }));
+  }
+  std::size_t expected = 200;
+  for (int i = 0; i < 200; i += 2) {  // cancel the even half
+    sched.cancel(ids[static_cast<std::size_t>(i)]);
+    --expected;
+    ASSERT_EQ(sched.pending(), expected);
+  }
+  sched.run();
+  EXPECT_EQ(sched.pending(), 0u);
+  ASSERT_EQ(fired.size(), 100u);
+  // Survivors (odd i) grouped by time bucket (100 + i%10), schedule order
+  // within a bucket.
+  std::vector<int> expected_order;
+  for (int bucket = 1; bucket < 10; bucket += 2) {
+    for (int i = bucket; i < 200; i += 10) expected_order.push_back(i);
+  }
+  EXPECT_EQ(fired, expected_order);
+}
+
+TEST(Scheduler, CancelDestroysPayloadEagerly) {
+  // Cancelling an event frees its captured payload immediately (pooled
+  // packets must return to the pool without waiting for the node to
+  // surface in the heap).
+  Scheduler sched;
+  auto payload = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = payload;
+  const EventId id = sched.schedule_at(1000, [p = std::move(payload)] {
+    (void)*p;
+  });
+  EXPECT_FALSE(watch.expired());
+  sched.cancel(id);
+  EXPECT_TRUE(watch.expired());
+  sched.run();
 }
 
 TEST(Scheduler, CancelledHeadSkippedByRunUntil) {

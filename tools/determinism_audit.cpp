@@ -19,6 +19,15 @@
 //   --load F          offered load                            [default 0.6]
 //   --lb NAME         ecmp|conga|conga-flow|spray|local       [default conga]
 //   --workload NAME   enterprise|data-mining|web-search       [default enterprise]
+//   --jobs N          parallel-grid mode (see below)          [default 0 = off]
+//
+// Parallel-grid mode (--jobs N, N >= 2): instead of repeating one scenario,
+// runs a grid of independent cells (the configured scenario at several loads
+// and seeds) twice — once sequentially and once on N worker threads — and
+// requires the per-cell FCT and event-trace digests to be byte-identical.
+// This is the CI gate for the parallel experiment runner: any shared mutable
+// simulation state between workers shows up as a digest mismatch (and as a
+// TSan report in the sanitizer lane).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +36,7 @@
 
 #include "debug/determinism.hpp"
 #include "lb/factories.hpp"
+#include "runtime/parallel_runner.hpp"
 
 using namespace conga;
 
@@ -56,6 +66,62 @@ workload::FlowSizeDist make_dist(const std::string& name) {
   usage(("unknown --workload: " + name).c_str());
 }
 
+/// Parallel-grid gate: per-cell digests must not depend on the jobs count.
+int run_parallel_grid_audit(const debug::DigestScenario& base, int jobs) {
+  struct Cell {
+    double load;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (const double load : {0.3, 0.5, 0.7}) {
+    for (std::uint64_t seed_off = 0; seed_off < 2; ++seed_off) {
+      cells.push_back({load, base.fabric_seed + seed_off});
+    }
+  }
+
+  auto run_cell = [&](std::size_t i) {
+    debug::DigestScenario s = base;
+    s.load = cells[i].load;
+    s.fabric_seed = cells[i].seed;
+    s.traffic_seed = cells[i].seed * 31 + 7;
+    return debug::run_digest_trial(s);
+  };
+
+  std::printf("parallel-grid audit: %zu cells, jobs=1 vs jobs=%d\n",
+              cells.size(), jobs);
+  const std::vector<debug::RunDigests> seq =
+      runtime::parallel_map<debug::RunDigests>(cells.size(), 1, run_cell);
+  const std::vector<debug::RunDigests> par =
+      runtime::parallel_map<debug::RunDigests>(cells.size(), jobs, run_cell);
+
+  bool ok = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const bool same = seq[i] == par[i];
+    std::printf("  cell %zu (load=%.2f seed=%llu): fct=%016llx "
+                "trace=%016llx events=%llu %s\n",
+                i, cells[i].load,
+                static_cast<unsigned long long>(cells[i].seed),
+                static_cast<unsigned long long>(seq[i].fct),
+                static_cast<unsigned long long>(seq[i].trace),
+                static_cast<unsigned long long>(seq[i].events),
+                same ? "OK" : "MISMATCH");
+    if (!same) {
+      ok = false;
+      std::fprintf(stderr,
+                   "MISMATCH cell %zu: jobs=%d gave fct=%016llx "
+                   "trace=%016llx events=%llu\n",
+                   i, jobs, static_cast<unsigned long long>(par[i].fct),
+                   static_cast<unsigned long long>(par[i].trace),
+                   static_cast<unsigned long long>(par[i].events));
+    }
+  }
+  std::printf("%s\n", ok ? "DETERMINISTIC: per-cell digests identical for "
+                           "jobs=1 and jobs=N"
+                         : "NON-DETERMINISTIC: parallel runner perturbed a "
+                           "cell digest");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,6 +130,7 @@ int main(int argc, char** argv) {
   int duration_ms = 20;
   int warmup_ms = 5;
   int hosts = 8;
+  int jobs = 0;
   double load = 0.6;
   std::string lb = "conga";
   std::string workload_name = "enterprise";
@@ -86,6 +153,8 @@ int main(int argc, char** argv) {
       hosts = std::atoi(need(i));
     } else if (a == "--load") {
       load = std::atof(need(i));
+    } else if (a == "--jobs") {
+      jobs = std::atoi(need(i));
     } else if (a == "--lb") {
       lb = need(i);
     } else if (a == "--workload") {
@@ -108,6 +177,15 @@ int main(int argc, char** argv) {
   s.measure = sim::milliseconds(duration_ms);
   s.fabric_seed = seed;
   s.traffic_seed = seed * 31 + 7;
+
+  if (jobs != 0) {
+    if (jobs < 2) usage("--jobs must be >= 2 (or omitted)");
+    // The grid sweeps loads itself; smaller per-cell windows keep the whole
+    // grid comparable in cost to the classic two-run audit.
+    s.warmup = sim::milliseconds(2);
+    s.measure = sim::milliseconds(duration_ms < 10 ? duration_ms : 10);
+    return run_parallel_grid_audit(s, jobs);
+  }
 
   std::printf("determinism_audit: %s workload, lb=%s, load=%.2f, seed=%llu, "
               "%d runs\n",
