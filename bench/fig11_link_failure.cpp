@@ -12,7 +12,7 @@
 
 #include "bench_util.hpp"
 #include "fct_grid.hpp"
-#include "stats/samplers.hpp"
+#include "telemetry/probes.hpp"
 #include "workload/traffic_gen.hpp"
 
 using namespace conga;
@@ -50,13 +50,21 @@ void hotspot_queue_cdf(bool full) {
     workload::TrafficGenerator gen(fabric, tcp::make_tcp_flow_factory(t),
                                    workload::data_mining(), gc);
     gen.start();
-    stats::QueueSampler sampler(sched, fabric.down_link(1, 1, 0),
-                                sim::microseconds(100),
-                                sim::milliseconds(10), gc.stop);
+    // Probe-only mask: the bench consumes the in-memory series; masking the
+    // per-packet categories keeps the run lean (tools/conga_trace records the
+    // same scenario with everything enabled).
+    telemetry::TraceSink sink;
+    fabric.attach_telemetry(&sink);
+    sink.set_category_mask(
+        telemetry::category_bit(telemetry::Category::kProbe));
+    const int hotspot = sink.probes().find("down:l1s1p0/queue_bytes");
+    telemetry::PeriodicSampler sampler(sched, sink, sim::microseconds(100),
+                                       sim::milliseconds(10), gc.stop,
+                                       {hotspot});
     sched.run_until(gc.stop);
     std::printf("%-12s", s.name);
     for (double p : percentiles) {
-      std::printf("%11.1f", sampler.occupancy_bytes().percentile(p) / 1e3);
+      std::printf("%11.1f", sampler.summary(0).percentile(p) / 1e3);
     }
     std::printf("\n");
   }

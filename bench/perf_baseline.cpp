@@ -12,6 +12,7 @@
 //   --jobs N     parallel grid worker count      [default: CONGA_BENCH_JOBS
 //                                                 or hardware concurrency]
 //   --full       longer measurement windows (for by-hand investigations)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +24,7 @@
 #include "lb/factories.hpp"
 #include "net/fabric.hpp"
 #include "runtime/parallel_runner.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tools/bench_json.hpp"
 #include "workload/experiment.hpp"
 
@@ -145,6 +147,10 @@ debug::DigestScenario fig09_cell(double load, std::uint64_t seed, bool full) {
   s.measure = sim::milliseconds(full ? 50 : 10);
   s.fabric_seed = seed;
   s.traffic_seed = seed * 31 + 7;
+  // Timing phases run without a sink so events/sec stays comparable with
+  // pre-telemetry baselines; the telemetry_overhead phase below measures the
+  // masked/full cost explicitly.
+  s.telemetry = debug::TelemetryMode::kOff;
   return s;
 }
 
@@ -212,6 +218,44 @@ GridResult run_grid_phase(int jobs, bool full) {
   return g;
 }
 
+struct TelemetryOverheadResult {
+  double eps_off = 0;     ///< events/sec, no sink attached
+  double eps_masked = 0;  ///< sink attached, every category masked off
+  double eps_full = 0;    ///< sink attached, everything recorded
+  bool within_budget = false;  ///< masked >= 95% of off
+};
+
+/// Best-of-`trials` events/sec for one scenario (best-of filters scheduler
+/// noise, which at these run lengths dwarfs the masked-telemetry cost).
+double best_events_per_sec(const debug::DigestScenario& s, int trials) {
+  double best = 0;
+  for (int i = 0; i < trials; ++i) {
+    const Clock::time_point start = Clock::now();
+    const debug::RunDigests d = debug::run_digest_trial(s);
+    const double wall = seconds_since(start);
+    if (wall > 0) {
+      best = std::max(best, static_cast<double>(d.events) / wall);
+    }
+  }
+  return best;
+}
+
+TelemetryOverheadResult run_telemetry_overhead(bool full) {
+  const int trials = full ? 5 : 3;
+  debug::DigestScenario s = fig09_cell(0.6, 1, full);
+  TelemetryOverheadResult r;
+  s.telemetry = debug::TelemetryMode::kOff;
+  r.eps_off = best_events_per_sec(s, trials);
+  s.telemetry = debug::TelemetryMode::kMasked;
+  r.eps_masked = best_events_per_sec(s, trials);
+  s.telemetry = debug::TelemetryMode::kFull;
+  r.eps_full = best_events_per_sec(s, trials);
+  // The gate this PR promises: telemetry compiled in but runtime-disabled
+  // must cost < 5% events/sec.
+  r.within_budget = r.eps_masked >= 0.95 * r.eps_off;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -237,6 +281,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "perf_baseline: grid wall-clock (jobs=1 vs jobs=%d)...\n",
                jobs);
   const GridResult grid = run_grid_phase(jobs, full);
+
+  std::fprintf(stderr, "perf_baseline: telemetry overhead (off/masked/full)...\n");
+  const TelemetryOverheadResult tele = run_telemetry_overhead(full);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -302,16 +349,35 @@ int main(int argc, char** argv) {
   w.kv("deterministic_across_jobs", grid.deterministic);
   w.end_object();
 
+  w.key("telemetry_overhead");
+  w.begin_object();
+  w.kv("scenario", "fig09 enterprise cell, conga, 60% load (best-of-N)");
+  w.kv("compiled_in", telemetry::compiled_in());
+  w.kv("events_per_sec_off", tele.eps_off);
+  w.kv("events_per_sec_masked", tele.eps_masked);
+  w.kv("events_per_sec_full", tele.eps_full);
+  w.kv("overhead_masked_pct",
+       tele.eps_off > 0 ? (1.0 - tele.eps_masked / tele.eps_off) * 100.0 : 0.0);
+  w.kv("overhead_full_pct",
+       tele.eps_off > 0 ? (1.0 - tele.eps_full / tele.eps_off) * 100.0 : 0.0);
+  w.kv("masked_within_5pct", tele.within_budget);
+  w.end_object();
+
   w.end_object();
   w.finish();
   std::fclose(f);
 
   std::fprintf(stderr,
                "perf_baseline: wrote %s (single-sim %.2fM events/s; grid "
-               "speedup %.2fx with %d jobs; %s)\n",
+               "speedup %.2fx with %d jobs; %s; telemetry masked overhead "
+               "%.1f%%%s)\n",
                out_path.c_str(), single.events_per_sec / 1e6, grid.speedup,
                grid.jobs,
                grid.deterministic ? "deterministic across jobs"
-                                  : "NON-DETERMINISTIC");
-  return grid.deterministic ? 0 : 1;
+                                  : "NON-DETERMINISTIC",
+               tele.eps_off > 0
+                   ? (1.0 - tele.eps_masked / tele.eps_off) * 100.0
+                   : 0.0,
+               tele.within_budget ? "" : " OVER BUDGET");
+  return (grid.deterministic && tele.within_budget) ? 0 : 1;
 }

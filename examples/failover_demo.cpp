@@ -9,7 +9,7 @@
 
 #include "lb/factories.hpp"
 #include "net/fabric.hpp"
-#include "stats/samplers.hpp"
+#include "telemetry/probes.hpp"
 #include "workload/traffic_gen.hpp"
 
 using namespace conga;
@@ -35,10 +35,14 @@ void run_scheme(const char* name, const net::Fabric::LbFactory& lb) {
                                  workload::enterprise(), gc);
   gen.start();
 
-  // Watch the hotspot: the surviving [Spine1 -> Leaf1] link.
-  stats::QueueSampler hotspot(sched, fabric.down_link(1, 1, 0),
-                              sim::microseconds(200), sim::milliseconds(10),
-                              gc.stop);
+  // Watch the hotspot: the surviving [Spine1 -> Leaf1] link, via the
+  // fabric's registered queue-occupancy probe.
+  telemetry::TraceSink sink;
+  fabric.attach_telemetry(&sink);
+  sink.set_category_mask(telemetry::category_bit(telemetry::Category::kProbe));
+  telemetry::PeriodicSampler hotspot(
+      sched, sink, sim::microseconds(200), sim::milliseconds(10), gc.stop,
+      {sink.probes().find("down:l1s1p0/queue_bytes")});
 
   const bool drained =
       workload::run_with_drain(sched, gen, gc.stop, sim::seconds(2.0));
@@ -47,7 +51,7 @@ void run_scheme(const char* name, const net::Fabric::LbFactory& lb) {
               "p90 %7.1f KB | %4zu flows%s\n",
               name, gen.collector().avg_normalized_fct(),
               gen.collector().p99_normalized_fct(),
-              hotspot.occupancy_bytes().percentile(90) / 1e3,
+              hotspot.summary(0).percentile(90) / 1e3,
               gen.collector().count(), drained ? "" : "  [NOT DRAINED]");
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace conga::core {
 
 namespace {
@@ -32,6 +34,21 @@ CongaLb::CongaLb(net::LeafSwitch& leaf, int num_leaves, const CongaConfig& cfg,
   assert(!leaf.uplinks().empty() &&
          "install CONGA after wiring the leaf's uplinks");
   flowlets_.set_label(leaf.name() + "/flowlets");
+}
+
+void CongaLb::attach_telemetry(telemetry::TraceSink* sink) {
+  if (sink == nullptr) {
+    flowlets_.set_telemetry(nullptr, 0);
+    to_leaf_.set_telemetry(nullptr, 0);
+    from_leaf_.set_telemetry(nullptr, 0);
+    return;
+  }
+  flowlets_.set_telemetry(sink,
+                          sink->intern_component(leaf_.name() + "/flowlets"));
+  to_leaf_.set_telemetry(sink,
+                         sink->intern_component(leaf_.name() + "/to_leaf"));
+  from_leaf_.set_telemetry(
+      sink, sink->intern_component(leaf_.name() + "/from_leaf"));
 }
 
 std::uint8_t CongaLb::cost(net::LeafId dst_leaf, int uplink,

@@ -55,6 +55,7 @@ class CongaLb final : public lb::LoadBalancer {
                     sim::TimeNs now) override;
   void on_fabric_receive(const net::Packet& pkt, sim::TimeNs now) override;
   void annotate(net::Packet& pkt, int uplink, sim::TimeNs now) override;
+  void attach_telemetry(telemetry::TraceSink* sink) override;
   std::string name() const override { return display_name_; }
 
   /// The §3.5 rule in isolation (no flowlet cache); exposed for tests.

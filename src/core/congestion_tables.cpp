@@ -2,7 +2,17 @@
 
 #include <cassert>
 
+#include "telemetry/telemetry.hpp"
+
 namespace conga::core {
+
+namespace {
+/// Packs (leaf, lbtag) into the event's `a` payload.
+std::uint64_t pack_cell(net::LeafId leaf, int lbtag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(leaf)) << 8) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(lbtag) & 0xff);
+}
+}  // namespace
 
 std::uint8_t aged_value(const MetricCell& cell, sim::TimeNs now,
                         sim::TimeNs age_after) {
@@ -28,6 +38,8 @@ void CongestionToLeafTable::update(net::LeafId dst_leaf, int lbtag,
                          lbtag];
   c.value = metric;
   c.updated = now;
+  telemetry::emit(tele_, telemetry::EventType::kCongaToLeafUpdate, tele_comp_,
+                  now, pack_cell(dst_leaf, lbtag), metric);
 }
 
 std::uint8_t CongestionToLeafTable::metric(net::LeafId dst_leaf, int uplink,
@@ -56,6 +68,8 @@ void CongestionFromLeafTable::update(net::LeafId src_leaf, int lbtag,
   c.value = ce;
   c.updated = now;
   any_[static_cast<std::size_t>(src_leaf)] = true;
+  telemetry::emit(tele_, telemetry::EventType::kCongaFromLeafUpdate,
+                  tele_comp_, now, pack_cell(src_leaf, lbtag), ce);
 }
 
 std::uint8_t CongestionFromLeafTable::raw(net::LeafId src_leaf,

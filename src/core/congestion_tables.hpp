@@ -22,6 +22,10 @@
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 
+namespace conga::telemetry {
+class TraceSink;
+}  // namespace conga::telemetry
+
 namespace conga::core {
 
 struct MetricCell {
@@ -59,8 +63,16 @@ class CongestionToLeafTable {
 
   const CongestionTableConfig& config() const { return cfg_; }
 
+  /// Routes update events to `sink` under component `comp`.
+  void set_telemetry(telemetry::TraceSink* sink, std::uint32_t comp) {
+    tele_ = sink;
+    tele_comp_ = comp;
+  }
+
  private:
   CongestionTableConfig cfg_;
+  telemetry::TraceSink* tele_ = nullptr;
+  std::uint32_t tele_comp_ = 0;
   std::vector<MetricCell> cells_;  // row-major [leaf][uplink]
 };
 
@@ -88,8 +100,16 @@ class CongestionFromLeafTable {
   /// Raw (un-aged) view for tests.
   std::uint8_t raw(net::LeafId src_leaf, int lbtag) const;
 
+  /// Routes update events to `sink` under component `comp`.
+  void set_telemetry(telemetry::TraceSink* sink, std::uint32_t comp) {
+    tele_ = sink;
+    tele_comp_ = comp;
+  }
+
  private:
   CongestionTableConfig cfg_;
+  telemetry::TraceSink* tele_ = nullptr;
+  std::uint32_t tele_comp_ = 0;
   std::vector<MetricCell> cells_;        // row-major [leaf][lbtag]
   std::vector<int> rr_next_;             // per-leaf round-robin cursor
   std::vector<bool> any_;                // per-leaf: ever updated

@@ -1,9 +1,11 @@
 #include "core/dre.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "debug/invariants.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace conga::core {
 
@@ -33,6 +35,8 @@ void Dre::decay_to(sim::TimeNs now) const {
 void Dre::add(std::uint32_t bytes, sim::TimeNs now) {
   decay_to(now);
   x_ += static_cast<double>(bytes);
+  telemetry::emit(tele_, telemetry::EventType::kDreUpdate, tele_comp_, now,
+                  bytes, std::bit_cast<std::uint64_t>(x_));
 }
 
 double Dre::raw_register(sim::TimeNs now) const {

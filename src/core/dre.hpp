@@ -19,6 +19,10 @@
 
 #include "sim/time.hpp"
 
+namespace conga::telemetry {
+class TraceSink;
+}  // namespace conga::telemetry
+
 namespace conga::core {
 
 struct DreConfig {
@@ -66,10 +70,19 @@ class Dre {
   void set_label(std::string label) { label_ = std::move(label); }
   const std::string& label() const { return label_; }
 
+  /// Routes register-update events to `sink` under component `comp`
+  /// (normally the owning link's interned name). nullptr detaches.
+  void set_telemetry(telemetry::TraceSink* sink, std::uint32_t comp) {
+    tele_ = sink;
+    tele_comp_ = comp;
+  }
+
  private:
   void decay_to(sim::TimeNs now) const;
 
   DreConfig cfg_;
+  telemetry::TraceSink* tele_ = nullptr;
+  std::uint32_t tele_comp_ = 0;
   std::string label_ = "dre";
   double capacity_bytes_per_tau_;  ///< C * tau, in bytes
   std::uint8_t max_metric_;

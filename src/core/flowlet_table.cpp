@@ -1,6 +1,7 @@
 #include "core/flowlet_table.hpp"
 
 #include "debug/invariants.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace conga::core {
 
@@ -28,6 +29,12 @@ bool FlowletTable::expired(const Entry& e, sim::TimeNs now) const {
 int FlowletTable::lookup(const net::FlowKey& key, sim::TimeNs now) {
   Entry& e = entries_[index(key)];
   if (expired(e, now)) {
+    if (e.valid) {
+      telemetry::emit(tele_, telemetry::EventType::kFlowletExpire, tele_comp_,
+                      now, key.hash(),
+                      static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(e.port)));
+    }
     e.valid = false;
     return -1;
   }
@@ -40,6 +47,12 @@ int FlowletTable::lookup(const net::FlowKey& key, sim::TimeNs now) {
 
 void FlowletTable::install(const net::FlowKey& key, int port, sim::TimeNs now) {
   Entry& e = entries_[index(key)];
+  telemetry::emit(tele_,
+                  e.port != -1 && e.port != port
+                      ? telemetry::EventType::kFlowletPathChange
+                      : telemetry::EventType::kFlowletCreate,
+                  tele_comp_, now, key.hash(),
+                  static_cast<std::uint64_t>(static_cast<std::uint32_t>(port)));
   e.port = port;
   e.valid = true;
   e.last_seen = now;

@@ -23,6 +23,10 @@
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 
+namespace conga::telemetry {
+class TraceSink;
+}  // namespace conga::telemetry
+
 namespace conga::core {
 
 enum class FlowletExpiry { kTimestamp, kAgeBit };
@@ -61,6 +65,13 @@ class FlowletTable {
   void set_label(std::string label) { label_ = std::move(label); }
   const std::string& label() const { return label_; }
 
+  /// Routes create/expire/path-change events to `sink` under component
+  /// `comp` (normally "<leaf>/flowlets"). nullptr detaches.
+  void set_telemetry(telemetry::TraceSink* sink, std::uint32_t comp) {
+    tele_ = sink;
+    tele_comp_ = comp;
+  }
+
  private:
   struct Entry {
     std::int32_t port = -1;
@@ -72,6 +83,8 @@ class FlowletTable {
   std::size_t index(const net::FlowKey& key) const;
 
   FlowletTableConfig cfg_;
+  telemetry::TraceSink* tele_ = nullptr;
+  std::uint32_t tele_comp_ = 0;
   std::string label_ = "flowlet_table";
   std::vector<Entry> entries_;
   std::uint64_t new_flowlets_ = 0;

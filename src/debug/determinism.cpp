@@ -1,6 +1,7 @@
 #include "debug/determinism.hpp"
 
 #include "stats/digest.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/traffic_gen.hpp"
 
 namespace conga::debug {
@@ -15,6 +16,16 @@ RunDigests run_digest_trial(const DigestScenario& s) {
 
   net::Fabric fabric(sched, s.topo, s.fabric_seed);
   fabric.install_lb(s.lb);
+
+  // Small rings: the audit only needs the streaming digest (which covers
+  // every event, retained or not), so don't hold event history per link.
+  telemetry::TraceSinkConfig sink_cfg;
+  sink_cfg.ring_capacity = 64;
+  telemetry::TraceSink sink(sink_cfg);
+  if (s.telemetry != TelemetryMode::kOff) {
+    if (s.telemetry == TelemetryMode::kMasked) sink.set_category_mask(0);
+    fabric.attach_telemetry(&sink);
+  }
 
   workload::TrafficGenConfig gc;
   gc.load = s.load;
@@ -34,6 +45,7 @@ RunDigests run_digest_trial(const DigestScenario& s) {
   r.trace = trace.value();
   r.events = sched.events_dispatched();
   r.flows = gen.collector().count();
+  if (s.telemetry != TelemetryMode::kOff) r.telemetry = sink.digest();
   return r;
 }
 

@@ -24,6 +24,15 @@
 
 namespace conga::debug {
 
+/// How much telemetry an audited run attaches. The trial's FCT/trace digests
+/// must be identical across all three (the sink is passive); the telemetry
+/// digest itself is only comparable between runs using the same mode.
+enum class TelemetryMode {
+  kOff,     ///< no sink attached (what perf timing uses)
+  kMasked,  ///< sink attached, every category masked off
+  kFull,    ///< sink attached, all categories enabled
+};
+
 /// One experiment cell to fingerprint. Mirrors workload::ExperimentConfig,
 /// minus the summary knobs that do not affect the packet-level schedule.
 struct DigestScenario {
@@ -37,6 +46,7 @@ struct DigestScenario {
   sim::TimeNs max_drain = sim::seconds(1.0);
   std::uint64_t fabric_seed = 1;
   std::uint64_t traffic_seed = 7;
+  TelemetryMode telemetry = TelemetryMode::kFull;
 };
 
 struct RunDigests {
@@ -44,6 +54,10 @@ struct RunDigests {
   std::uint64_t trace = 0;   ///< order-sensitive event-trace digest
   std::uint64_t events = 0;  ///< events dispatched (quick divergence hint)
   std::uint64_t flows = 0;   ///< measured flows recorded
+  /// Telemetry stream digest (0 in kOff mode): fingerprints every recorded
+  /// event, so an instrumentation-order divergence is caught even when the
+  /// packet schedule digests still agree.
+  std::uint64_t telemetry = 0;
   bool drained = false;      ///< all measured flows completed
 
   friend bool operator==(const RunDigests&, const RunDigests&) = default;

@@ -20,6 +20,10 @@ namespace conga::net {
 class LeafSwitch;
 }
 
+namespace conga::telemetry {
+class TraceSink;
+}  // namespace conga::telemetry
+
 namespace conga::lb {
 
 class LoadBalancer {
@@ -40,6 +44,10 @@ class LoadBalancer {
   /// packet after `uplink` was selected.
   virtual void annotate(net::Packet& /*pkt*/, int /*uplink*/,
                         sim::TimeNs /*now*/) {}
+
+  /// Telemetry hook: route the balancer's internal events (flowlet table,
+  /// congestion tables, ...) to `sink`. Stateless schemes ignore it.
+  virtual void attach_telemetry(telemetry::TraceSink* /*sink*/) {}
 
   virtual std::string name() const = 0;
 };

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "telemetry/probes.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace conga::net {
 
 namespace {
@@ -105,6 +108,9 @@ void Fabric::build() {
   }
 
   // Fabric links: for each (leaf, spine, parallel) pair, one link each way.
+  down_live_.assign(static_cast<std::size_t>(S) * static_cast<std::size_t>(L) *
+                        static_cast<std::size_t>(P),
+                    0);
   down_links_.assign(static_cast<std::size_t>(S),
                      std::vector<std::vector<Link*>>(
                          static_cast<std::size_t>(L),
@@ -151,6 +157,7 @@ void Fabric::build() {
         spines_[static_cast<std::size_t>(s)]->add_downlink(l, down.get());
         down_links_[static_cast<std::size_t>(s)][static_cast<std::size_t>(l)]
                    [static_cast<std::size_t>(p)] = down.get();
+        down_live_[live_index(s, l, p)] = 1;
         fabric_links_.push_back(down.get());
 
         links_.push_back(std::move(up));
@@ -165,18 +172,11 @@ void Fabric::build() {
 void Fabric::recompute_reachability() {
   // Routing reachability: an uplink to spine s is a valid next hop for
   // destination leaf d iff s currently has at least one live downlink to d.
+  // down_live_ caches control-plane liveness per (spine, leaf, parallel),
+  // maintained by the fail/restore detection handlers, so this is a flat
+  // flag read rather than a scan over the failed-link list.
   const int L = cfg_.num_leaves;
   const int P = cfg_.links_per_spine;
-  auto down_live = [&](int s, int d, int p) {
-    if (down_links_[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)]
-                   [static_cast<std::size_t>(p)] == nullptr) {
-      return false;
-    }
-    for (const auto& f : runtime_failed_) {
-      if (f[0] == d && f[1] == s && f[2] == p) return false;
-    }
-    return true;
-  };
   for (int l = 0; l < L; ++l) {
     LeafSwitch& lf = *leaves_[static_cast<std::size_t>(l)];
     std::vector<std::vector<bool>> reaches(
@@ -186,7 +186,7 @@ void Fabric::recompute_reachability() {
       const int s = lf.uplinks()[u].spine;
       for (int d = 0; d < L; ++d) {
         for (int p = 0; p < P; ++p) {
-          if (down_live(s, d, p)) {
+          if (down_live_[live_index(s, d, p)] != 0) {
             reaches[u][static_cast<std::size_t>(d)] = true;
             break;
           }
@@ -222,11 +222,22 @@ void Fabric::fail_fabric_link(int leaf, int spine, int parallel,
   // ...the control plane notices after the detection window.
   sched_.schedule_after(detection_delay, [this, leaf, spine, parallel, up,
                                           down] {
-    runtime_failed_.push_back({leaf, spine, parallel});
+    down_live_[live_index(spine, leaf, parallel)] = 0;
     leaves_[static_cast<std::size_t>(leaf)]->set_uplink_live(
         uplink_index(leaf, up), false);
     spines_[static_cast<std::size_t>(spine)]->remove_downlink(leaf, down);
     recompute_reachability();
+    if (tele_ != nullptr) {
+      const sim::TimeNs now = sched_.now();
+      telemetry::emit(tele_, telemetry::EventType::kLinkWithdrawn,
+                      tele_->intern_component(up->name()), now,
+                      static_cast<std::uint64_t>(spine),
+                      static_cast<std::uint64_t>(leaf));
+      telemetry::emit(tele_, telemetry::EventType::kLinkWithdrawn,
+                      tele_->intern_component(down->name()), now,
+                      static_cast<std::uint64_t>(spine),
+                      static_cast<std::uint64_t>(leaf));
+    }
   });
 }
 
@@ -239,17 +250,22 @@ void Fabric::restore_fabric_link(int leaf, int spine, int parallel,
   down->set_up(true);
   sched_.schedule_after(detection_delay, [this, leaf, spine, parallel, up,
                                           down] {
-    for (auto it = runtime_failed_.begin(); it != runtime_failed_.end();
-         ++it) {
-      if ((*it)[0] == leaf && (*it)[1] == spine && (*it)[2] == parallel) {
-        runtime_failed_.erase(it);
-        break;
-      }
-    }
+    down_live_[live_index(spine, leaf, parallel)] = 1;
     leaves_[static_cast<std::size_t>(leaf)]->set_uplink_live(
         uplink_index(leaf, up), true);
     spines_[static_cast<std::size_t>(spine)]->add_downlink(leaf, down);
     recompute_reachability();
+    if (tele_ != nullptr) {
+      const sim::TimeNs now = sched_.now();
+      telemetry::emit(tele_, telemetry::EventType::kLinkRestored,
+                      tele_->intern_component(up->name()), now,
+                      static_cast<std::uint64_t>(spine),
+                      static_cast<std::uint64_t>(leaf));
+      telemetry::emit(tele_, telemetry::EventType::kLinkRestored,
+                      tele_->intern_component(down->name()), now,
+                      static_cast<std::uint64_t>(spine),
+                      static_cast<std::uint64_t>(leaf));
+    }
   });
 }
 
@@ -259,7 +275,66 @@ void Fabric::install_lb(const LbFactory& factory) {
         *leaf, cfg_,
         rng_.stream_seed((3ULL << 56) |
                          static_cast<std::uint64_t>(leaf->id()))));
+    if (tele_ != nullptr) leaf->load_balancer()->attach_telemetry(tele_);
   }
+}
+
+void Fabric::attach_telemetry(telemetry::TraceSink* sink) {
+  tele_ = sink;
+  // TCP senders and other Scheduler& holders reach the sink ambiently.
+  sched_.set_telemetry(sink);
+  for (auto& link : links_) link->attach_telemetry(sink);
+  for (auto& leaf : leaves_) {
+    if (leaf->load_balancer() != nullptr) {
+      leaf->load_balancer()->attach_telemetry(sink);
+    }
+  }
+  if (sink == nullptr) return;
+  // Build-time degradations are part of the fabric's history too: record
+  // them once at attach so a trace is self-describing.
+  for (const LinkOverride& o : cfg_.overrides) {
+    if (o.rate_factor <= 0.0 || o.rate_factor >= 1.0) continue;
+    Link* up = up_link(o.leaf, o.spine, o.parallel);
+    if (up == nullptr) continue;
+    telemetry::emit(sink, telemetry::EventType::kLinkDegraded,
+                    sink->intern_component(up->name()), sched_.now(),
+                    static_cast<std::uint64_t>(o.rate_factor * 1000.0));
+  }
+  register_probes();
+}
+
+void Fabric::register_probes() {
+  telemetry::ProbeRegistry& reg = tele_->probes();
+  for (Link* link : fabric_links_) {
+    reg.add_gauge(link->name() + "/queue_bytes", [link] {
+      return static_cast<double>(link->queue().bytes());
+    });
+    reg.add_counter(link->name() + "/tx_bytes",
+                    [link] { return link->bytes_sent(); });
+  }
+  for (auto& leaf_ptr : leaves_) {
+    LeafSwitch* leaf = leaf_ptr.get();
+    reg.add_counter(leaf->name() + "/pkts_to_fabric",
+                    [leaf] { return leaf->packets_to_fabric(); });
+    reg.add_counter(leaf->name() + "/pkts_from_fabric",
+                    [leaf] { return leaf->packets_from_fabric(); });
+    // Delivered host bytes per leaf: the hand-rolled per-host accumulation
+    // loops the benches used to carry, as one probe.
+    std::vector<Host*> members;
+    for (auto& host : hosts_) {
+      if (host->leaf() == leaf->id()) members.push_back(host.get());
+    }
+    reg.add_counter(leaf->name() + "/rx_host_bytes", [members] {
+      std::uint64_t total = 0;
+      for (const Host* h : members) total += h->bytes_received();
+      return total;
+    });
+  }
+  sim::Scheduler* sched = &sched_;
+  reg.add_counter("sched/events_dispatched",
+                  [sched] { return sched->events_dispatched(); });
+  reg.add_gauge("sched/pending",
+                [sched] { return static_cast<double>(sched->pending()); });
 }
 
 Link* Fabric::down_link(int spine, int leaf, int parallel) {

@@ -6,7 +6,6 @@
 // re-created identically for each scheme under comparison.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -38,6 +37,16 @@ class Fabric {
 
   /// Installs a load balancer on every leaf.
   void install_lb(const LbFactory& factory);
+
+  /// Routes the whole fabric's telemetry to `sink` (nullptr detaches):
+  /// every link (queue + DRE included), every installed load balancer, and
+  /// the scheduler's ambient pointer (which TCP senders read). Also
+  /// registers the standard probe set: per-fabric-link queue_bytes gauges
+  /// and tx_bytes counters, per-leaf packet counters, and per-leaf
+  /// rx_host_bytes (sum of attached hosts' received bytes). Call after
+  /// install_lb(); calling install_lb() later re-attaches the new balancers.
+  void attach_telemetry(telemetry::TraceSink* sink);
+  telemetry::TraceSink* telemetry() const { return tele_; }
 
   // --- accessors ---
   sim::Scheduler& scheduler() { return sched_; }
@@ -95,6 +104,16 @@ class Fabric {
   /// removed at build time.
   Link* up_link(int leaf, int spine, int parallel);
   int uplink_index(int leaf, Link* link) const;
+  /// Flat index into down_live_ for (spine, leaf, parallel).
+  std::size_t live_index(int spine, int leaf, int parallel) const {
+    return (static_cast<std::size_t>(spine) *
+                static_cast<std::size_t>(cfg_.num_leaves) +
+            static_cast<std::size_t>(leaf)) *
+               static_cast<std::size_t>(cfg_.links_per_spine) +
+           static_cast<std::size_t>(parallel);
+  }
+  /// Registers the standard probe set with the attached sink.
+  void register_probes();
 
   sim::Scheduler& sched_;
   TopologyConfig cfg_;
@@ -114,8 +133,13 @@ class Fabric {
   std::vector<std::vector<std::vector<Link*>>> down_links_;
   // [leaf][spine][parallel] -> link or nullptr
   std::vector<std::vector<std::vector<Link*>>> up_links_;
-  // (leaf, spine, parallel) triples failed at runtime (post-detection).
-  std::vector<std::array<int, 3>> runtime_failed_;
+  // Control-plane liveness of spine->leaf downlinks, flat-indexed by
+  // live_index(): 1 iff the link exists and is not runtime-failed
+  // (post-detection). Flipped by the fail/restore detection handlers, so
+  // recompute_reachability() reads a flag instead of scanning a list of
+  // failed triples for every (spine, leaf, parallel) combination.
+  std::vector<std::uint8_t> down_live_;
+  telemetry::TraceSink* tele_ = nullptr;
 };
 
 }  // namespace conga::net

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace conga::net {
 
 Link::Link(sim::Scheduler& sched, std::string name, const LinkConfig& cfg)
@@ -20,6 +22,22 @@ Link::Link(sim::Scheduler& sched, std::string name, const LinkConfig& cfg)
 void Link::connect_to(Node* dst, int dst_port) {
   dst_ = dst;
   dst_port_ = dst_port;
+}
+
+void Link::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  telemetry::emit(tele_,
+                  up ? telemetry::EventType::kLinkUp
+                     : telemetry::EventType::kLinkDown,
+                  tele_comp_, sched_.now(), up ? 1 : 0);
+}
+
+void Link::attach_telemetry(telemetry::TraceSink* sink) {
+  tele_ = sink;
+  tele_comp_ = sink != nullptr ? sink->intern_component(name_) : 0;
+  queue_.set_telemetry(sink, tele_comp_);
+  dre_.set_telemetry(sink, tele_comp_);
 }
 
 void Link::send(PacketPtr pkt) {

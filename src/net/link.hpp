@@ -51,8 +51,13 @@ class Link {
   /// Administratively disables the link: packets handed to a down link are
   /// dropped. (Used to model failures discovered by the routing layer; the
   /// topology normally removes failed links from forwarding tables instead.)
-  void set_up(bool up) { up_ = up; }
+  /// Actual state changes emit kLinkUp/kLinkDown telemetry events.
+  void set_up(bool up);
   bool is_up() const { return up_; }
+
+  /// Registers this link (by name) with `sink` and routes the link's own,
+  /// its queue's, and its DRE's events there.
+  void attach_telemetry(telemetry::TraceSink* sink);
 
   double rate_bps() const { return cfg_.rate_bps; }
   const std::string& name() const { return name_; }
@@ -80,6 +85,8 @@ class Link {
   int dst_port_ = -1;
   DropTailQueue queue_;
   core::Dre dre_;
+  telemetry::TraceSink* tele_ = nullptr;
+  std::uint32_t tele_comp_ = 0;
   bool busy_ = false;
   bool up_ = true;
   std::uint64_t bytes_sent_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "debug/invariants.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace conga::net {
 
@@ -20,6 +21,8 @@ bool DropTailQueue::enqueue(PacketPtr pkt, sim::TimeNs now) {
   if (!admit) {
     ++stats_.dropped_pkts;
     stats_.dropped_bytes += pkt->size_bytes;
+    telemetry::emit(tele_, telemetry::EventType::kQueueDrop, tele_comp_, now,
+                    pkt->size_bytes, bytes_);
     return false;  // pkt freed here
   }
   if (pool_ != nullptr) pool_->reserve(pkt->size_bytes);
@@ -27,12 +30,16 @@ bool DropTailQueue::enqueue(PacketPtr pkt, sim::TimeNs now) {
   if (ecn_threshold_bytes_ > 0 && bytes_ > ecn_threshold_bytes_) {
     pkt->ecn_ce = true;
     ++stats_.ecn_marked_pkts;
+    telemetry::emit(tele_, telemetry::EventType::kQueueEcnMark, tele_comp_,
+                    now, pkt->size_bytes, bytes_);
   }
   bytes_ += pkt->size_bytes;
   ++stats_.enqueued_pkts;
   stats_.enqueued_bytes += pkt->size_bytes;
   stats_.max_bytes_seen = std::max(stats_.max_bytes_seen, bytes_);
   pkt->enqueued_at = now;
+  telemetry::emit(tele_, telemetry::EventType::kQueueEnqueue, tele_comp_, now,
+                  pkt->size_bytes, bytes_);
   q_.push_back(std::move(pkt));
   CONGA_INVARIANT(check_queue_bounds(label_, now, bytes_, capacity_bytes_,
                                      q_.size()));
@@ -50,6 +57,8 @@ PacketPtr DropTailQueue::dequeue(sim::TimeNs now) {
   ++stats_.dequeued_pkts;
   stats_.dequeued_bytes += pkt->size_bytes;
   if (pool_ != nullptr) pool_->release(pkt->size_bytes);
+  telemetry::emit(tele_, telemetry::EventType::kQueueDequeue, tele_comp_, now,
+                  pkt->size_bytes, bytes_);
   CONGA_INVARIANT(check_queue_bounds(label_, now, bytes_, capacity_bytes_,
                                      q_.size()));
   CONGA_INVARIANT(check_byte_conservation(label_, now, stats_.enqueued_bytes,

@@ -14,6 +14,10 @@
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 
+namespace conga::telemetry {
+class TraceSink;
+}  // namespace conga::telemetry
+
 namespace conga::net {
 
 struct QueueStats {
@@ -79,6 +83,13 @@ class DropTailQueue {
   void set_label(std::string label) { label_ = std::move(label); }
   const std::string& label() const { return label_; }
 
+  /// Routes enqueue/dequeue/drop/ECN events to `sink` under component
+  /// `comp` (normally the owning link's interned name). nullptr detaches.
+  void set_telemetry(telemetry::TraceSink* sink, std::uint32_t comp) {
+    tele_ = sink;
+    tele_comp_ = comp;
+  }
+
   bool empty() const { return q_.empty(); }
   std::uint64_t bytes() const { return bytes_; }
   std::size_t packets() const { return q_.size(); }
@@ -94,6 +105,8 @@ class DropTailQueue {
   std::uint64_t capacity_bytes_;
   std::uint64_t ecn_threshold_bytes_;
   SharedBufferPool* pool_;
+  telemetry::TraceSink* tele_ = nullptr;
+  std::uint32_t tele_comp_ = 0;
   std::string label_ = "queue";
   std::uint64_t bytes_ = 0;
   std::deque<PacketPtr> q_;

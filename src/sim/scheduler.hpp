@@ -12,6 +12,10 @@
 #include "sim/time.hpp"
 #include "sim/unique_function.hpp"
 
+namespace conga::telemetry {
+class TraceSink;
+}  // namespace conga::telemetry
+
 namespace conga::sim {
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
@@ -91,6 +95,14 @@ class Scheduler {
   using TraceHook = std::function<void(TimeNs, EventId)>;
   void set_trace_hook(TraceHook h) { trace_ = std::move(h); }
 
+  /// Ambient telemetry sink for this simulation, or nullptr (the default).
+  /// Components that already hold a `Scheduler&` (TCP senders, generators)
+  /// reach the sink through here instead of threading another pointer
+  /// through every constructor. The scheduler itself never records; it only
+  /// carries the pointer.
+  telemetry::TraceSink* telemetry() const { return telemetry_; }
+  void set_telemetry(telemetry::TraceSink* sink) { telemetry_ = sink; }
+
  private:
   /// One pending (or stale) entry in the implicit 4-ary heap. Trivially
   /// copyable and 24 bytes, so sift operations move PODs, not callbacks.
@@ -139,6 +151,7 @@ class Scheduler {
 
   TimeNs now_ = 0;
   TraceHook trace_;
+  telemetry::TraceSink* telemetry_ = nullptr;
   std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;
   std::size_t live_ = 0;

@@ -52,18 +52,4 @@ std::vector<double> ThroughputImbalanceSampler::mean_throughput_bps() const {
   return out;
 }
 
-QueueSampler::QueueSampler(sim::Scheduler& sched, const net::Link* link,
-                           sim::TimeNs interval, sim::TimeNs start,
-                           sim::TimeNs end)
-    : sched_(sched), link_(link), interval_(interval), end_(end) {
-  sched_.schedule_at(start, [this] { tick(); });
-}
-
-void QueueSampler::tick() {
-  occupancy_.add(static_cast<double>(link_->queue().bytes()));
-  if (sched_.now() + interval_ <= end_) {
-    sched_.schedule_after(interval_, [this] { tick(); });
-  }
-}
-
 }  // namespace conga::stats

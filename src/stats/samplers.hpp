@@ -1,7 +1,8 @@
-// Periodic samplers driving the paper's balance/queue metrics:
+// Periodic samplers driving the paper's balance metrics:
 //  * ThroughputImbalanceSampler — Fig 12: synchronous samples of per-uplink
 //    throughput over fixed intervals; records (MAX-MIN)/AVG per interval.
-//  * QueueSampler — Fig 11(c): periodic queue-occupancy samples of one port.
+// (Single-metric occupancy sampling lives in telemetry::PeriodicSampler over
+// a registered probe; the old stats::QueueSampler was folded into it.)
 #pragma once
 
 #include <cstdint>
@@ -37,24 +38,6 @@ class ThroughputImbalanceSampler {
   std::vector<std::uint64_t> last_bytes_;
   std::vector<std::uint64_t> first_bytes_;
   Summary imbalance_;
-};
-
-class QueueSampler {
- public:
-  QueueSampler(sim::Scheduler& sched, const net::Link* link,
-               sim::TimeNs interval, sim::TimeNs start, sim::TimeNs end);
-
-  /// Queue occupancy samples, bytes.
-  const Summary& occupancy_bytes() const { return occupancy_; }
-
- private:
-  void tick();
-
-  sim::Scheduler& sched_;
-  const net::Link* link_;
-  sim::TimeNs interval_;
-  sim::TimeNs end_;
-  Summary occupancy_;
 };
 
 }  // namespace conga::stats

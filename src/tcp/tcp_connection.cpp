@@ -1,11 +1,13 @@
 #include "tcp/tcp_connection.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <utility>
 
 #include "debug/invariants.hpp"
+#include "telemetry/telemetry.hpp"
 
 #if defined(CONGA_CHECK_INVARIANTS) && CONGA_CHECK_INVARIANTS
 #include <string>
@@ -40,11 +42,24 @@ TcpSender::~TcpSender() {
   if (started_) local_.unregister_flow(flow_);
 }
 
+void TcpSender::tele(telemetry::EventType type, std::uint64_t b) {
+  telemetry::TraceSink* sink = sched_.telemetry();
+  if (sink == nullptr) return;
+  // All senders share one "tcp" component: per-flow rings would let a long
+  // run register unbounded components, and the flow hash in `a` already
+  // attributes each event.
+  if (tele_comp_ == telemetry::kInvalidComponent) {
+    tele_comp_ = sink->intern_component("tcp");
+  }
+  telemetry::emit(sink, type, tele_comp_, sched_.now(), flow_.hash(), b);
+}
+
 void TcpSender::start() {
   if (started_) return;
   started_ = true;
   local_.register_flow(flow_,
                        [this](net::PacketPtr pkt) { on_packet(std::move(pkt)); });
+  tele(telemetry::EventType::kFlowStart, 0);
   send_available();
   maybe_finish();  // zero-byte flows complete immediately
 }
@@ -130,6 +145,7 @@ void TcpSender::send_available() {
             std::min<std::uint64_t>(gap_len, mss()));
         emit_segment(gap_start, len);
         ++retransmits_;
+        tele(telemetry::EventType::kTcpRetransmit, retransmits_);
         rtx_next_ = gap_start + len;
         continue;
       }
@@ -147,6 +163,7 @@ void TcpSender::send_available() {
         len = static_cast<std::uint32_t>(
             std::min<std::uint64_t>(mss(), snd_max_ - snd_nxt_));
         ++retransmits_;
+        tele(telemetry::EventType::kTcpRetransmit, retransmits_);
       } else {
         len = source_.grab(mss());
         if (len == 0) break;
@@ -193,6 +210,7 @@ void TcpSender::enter_sack_recovery() {
   // Monotone across epochs: a byte is retransmitted at most once between
   // RTOs (a lost retransmission is recovered by the timer, as in real TCP).
   rtx_next_ = std::max(rtx_next_, snd_una_);
+  tele(telemetry::EventType::kTcpCwnd, std::bit_cast<std::uint64_t>(cwnd_));
   on_loss_event();
 }
 
@@ -231,6 +249,7 @@ void TcpSender::on_tlp() {
       std::min<std::uint64_t>(mss(), snd_nxt_ - snd_una_);
   emit_segment(snd_nxt_ - len, static_cast<std::uint32_t>(len));
   ++retransmits_;
+  tele(telemetry::EventType::kTcpRetransmit, retransmits_);
   arm_rto();  // now arms the real RTO (tlp_done_ is set)
 }
 
@@ -267,7 +286,9 @@ void TcpSender::enter_recovery() {
         std::min<std::uint64_t>(mss(), snd_max_ - snd_una_));
     emit_segment(snd_una_, len);
     ++retransmits_;
+    tele(telemetry::EventType::kTcpRetransmit, retransmits_);
   }
+  tele(telemetry::EventType::kTcpCwnd, std::bit_cast<std::uint64_t>(cwnd_));
   on_loss_event();
 }
 
@@ -336,6 +357,7 @@ void TcpSender::handle_ack(const net::TcpHeader& hdr, bool ecn_echo) {
         if (len > 0) {
           emit_segment(snd_una_, len);
           ++retransmits_;
+          tele(telemetry::EventType::kTcpRetransmit, retransmits_);
         }
         cwnd_ = std::max(cwnd_ - static_cast<double>(bytes_acked) +
                              static_cast<double>(mss()),
@@ -388,6 +410,8 @@ void TcpSender::on_rto() {
   ssthresh_ = std::max(static_cast<double>(flight()) / 2.0,
                        2.0 * static_cast<double>(mss()));
   cwnd_ = static_cast<double>(mss());
+  tele(telemetry::EventType::kTcpRto, timeouts_);
+  tele(telemetry::EventType::kTcpCwnd, std::bit_cast<std::uint64_t>(cwnd_));
   snd_nxt_ = snd_una_;  // go-back-N
   in_recovery_ = false;
   sack_recovery_ = false;
@@ -414,6 +438,7 @@ void TcpSender::maybe_finish() {
   done_ = true;
   sched_.cancel(rto_timer_);
   rto_timer_ = sim::kInvalidEventId;
+  tele(telemetry::EventType::kFlowFinish, snd_max_);
   if (on_done_) on_done_();
 }
 

@@ -26,6 +26,10 @@
 #include "sim/scheduler.hpp"
 #include "tcp/tcp_config.hpp"
 
+namespace conga::telemetry {
+enum class EventType : std::uint8_t;
+}  // namespace conga::telemetry
+
 namespace conga::tcp {
 
 /// Source of payload bytes for a sender. Plain TCP uses a fixed budget;
@@ -122,6 +126,8 @@ class TcpSender {
   void update_rtt(sim::TimeNs sample);
   void maybe_finish();
   std::uint64_t flight() const { return snd_nxt_ - snd_una_; }
+  /// Emits a kTcp/kFlow telemetry event for this connection (a: flow hash).
+  void tele(telemetry::EventType type, std::uint64_t b);
 
   sim::Scheduler& sched_;
   net::Host& local_;
@@ -163,6 +169,9 @@ class TcpSender {
 
   bool started_ = false;
   bool done_ = false;
+  /// Shared "tcp" component id, interned lazily on the first event
+  /// (0xffffffff == telemetry::kInvalidComponent == not yet interned).
+  std::uint32_t tele_comp_ = 0xffffffffU;
   std::uint64_t bytes_sent_total_ = 0;
   std::uint32_t retransmits_ = 0;
   std::uint32_t timeouts_ = 0;

@@ -1,0 +1,159 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+
+#include "telemetry/probes.hpp"
+
+namespace conga::telemetry {
+
+namespace {
+
+// Index-aligned with EventType. These are wire names: the JSONL/CSV
+// exporters and conga_trace filters use them, so renames break traces.
+constexpr const char* kTypeNames[] = {
+    "queue_enqueue",     "queue_dequeue",  "queue_drop",
+    "queue_ecn_mark",    "link_up",        "link_down",
+    "link_withdrawn",    "link_restored",  "link_degraded",
+    "dre_update",        "flowlet_create", "flowlet_expire",
+    "flowlet_path_change", "conga_to_leaf_update", "conga_from_leaf_update",
+    "tcp_cwnd",          "tcp_rto",        "tcp_retransmit",
+    "flow_start",        "flow_finish",    "counter_sample",
+    "gauge_sample",
+};
+static_assert(sizeof(kTypeNames) / sizeof(kTypeNames[0]) ==
+                  static_cast<std::size_t>(EventType::kTypeCount),
+              "kTypeNames out of sync with EventType");
+
+constexpr const char* kCategoryNames[] = {
+    "queue", "link", "dre", "flowlet", "conga_table", "tcp", "flow", "probe",
+};
+static_assert(sizeof(kCategoryNames) / sizeof(kCategoryNames[0]) ==
+                  static_cast<std::size_t>(Category::kCount),
+              "kCategoryNames out of sync with Category");
+
+}  // namespace
+
+const char* event_type_name(EventType t) {
+  const auto i = static_cast<std::size_t>(t);
+  return i < static_cast<std::size_t>(EventType::kTypeCount) ? kTypeNames[i]
+                                                             : "unknown";
+}
+
+const char* category_name(Category c) {
+  const auto i = static_cast<std::size_t>(c);
+  return i < static_cast<std::size_t>(Category::kCount) ? kCategoryNames[i]
+                                                        : "unknown";
+}
+
+bool parse_event_type(std::string_view name, EventType& out) {
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(EventType::kTypeCount); ++i) {
+    if (name == kTypeNames[i]) {
+      out = static_cast<EventType>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_category(std::string_view name, Category& out) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Category::kCount);
+       ++i) {
+    if (name == kCategoryNames[i]) {
+      out = static_cast<Category>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+TraceSink::TraceSink(TraceSinkConfig cfg)
+    : cfg_(cfg),
+      category_mask_(cfg.category_mask),
+      probes_(std::make_unique<ProbeRegistry>()) {
+  if (cfg_.ring_capacity == 0) cfg_.ring_capacity = 1;
+}
+
+TraceSink::~TraceSink() = default;
+
+ComponentId TraceSink::intern_component(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return it->second;
+  const auto id = static_cast<ComponentId>(components_.size());
+  components_.push_back(Component{std::string(name), {}, 0});
+  by_name_.emplace(components_.back().name, id);
+  // The name table is part of the run's fingerprint: a different set (or
+  // registration order) of components is a different instrumented run.
+  digest_.add(0x636f6d70ULL);  // "comp" sentinel
+  for (const char ch : components_.back().name) {
+    digest_.add(static_cast<std::uint64_t>(ch));
+  }
+  return id;
+}
+
+ComponentId TraceSink::find_component(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidComponent : it->second;
+}
+
+void TraceSink::record(EventType type, ComponentId comp, sim::TimeNs t,
+                       std::uint64_t a, std::uint64_t b) {
+  Component& c = components_[comp];
+  Event e;
+  e.t = t;
+  e.seq = next_seq_++;
+  e.a = a;
+  e.b = b;
+  e.comp = comp;
+  e.type = type;
+
+  if (c.ring.size() < cfg_.ring_capacity) {
+    c.ring.push_back(e);
+  } else {
+    // Circular overwrite of the oldest entry.
+    c.ring[c.recorded % cfg_.ring_capacity] = e;
+    ++total_overwritten_;
+  }
+  ++c.recorded;
+  ++total_recorded_;
+
+  digest_.add(static_cast<std::uint64_t>(type));
+  digest_.add(static_cast<std::uint64_t>(comp));
+  digest_.add(static_cast<std::uint64_t>(t));
+  digest_.add(a);
+  digest_.add(b);
+}
+
+std::vector<Event> TraceSink::events(ComponentId comp) const {
+  const Component& c = components_[comp];
+  std::vector<Event> out;
+  out.reserve(c.ring.size());
+  if (c.recorded <= cfg_.ring_capacity) {
+    out = c.ring;
+  } else {
+    const std::size_t head = c.recorded % cfg_.ring_capacity;
+    out.insert(out.end(), c.ring.begin() + static_cast<std::ptrdiff_t>(head),
+               c.ring.end());
+    out.insert(out.end(), c.ring.begin(),
+               c.ring.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+std::vector<Event> TraceSink::all_events() const {
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_recorded_, components_.size() *
+                                                   cfg_.ring_capacity)));
+  for (ComponentId id = 0; id < components_.size(); ++id) {
+    const std::vector<Event> ev = events(id);
+    out.insert(out.end(), ev.begin(), ev.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& x, const Event& y) { return x.seq < y.seq; });
+  return out;
+}
+
+std::uint64_t TraceSink::digest() const { return digest_.value(); }
+
+}  // namespace conga::telemetry

@@ -81,19 +81,6 @@ TEST(FctCollector, P99Normalized) {
   EXPECT_GT(c.p99_normalized_fct(), 1.5);
 }
 
-TEST(QueueSampler, SamplesOccupancy) {
-  sim::Scheduler sched;
-  net::LinkConfig cfg;
-  cfg.rate_bps = 1e9;
-  net::Link link(sched, "l", cfg);
-  // No destination needed: we never send, just sample an idle queue.
-  QueueSampler sampler(sched, &link, sim::microseconds(100), 0,
-                       sim::milliseconds(1));
-  sched.run();
-  EXPECT_GE(sampler.occupancy_bytes().count(), 10u);
-  EXPECT_DOUBLE_EQ(sampler.occupancy_bytes().max(), 0.0);
-}
-
 /// Node that drops everything (endpoint for sampler tests).
 class NullNode : public net::Node {
  public:

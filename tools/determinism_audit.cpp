@@ -98,20 +98,22 @@ int run_parallel_grid_audit(const debug::DigestScenario& base, int jobs) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const bool same = seq[i] == par[i];
     std::printf("  cell %zu (load=%.2f seed=%llu): fct=%016llx "
-                "trace=%016llx events=%llu %s\n",
+                "trace=%016llx tele=%016llx events=%llu %s\n",
                 i, cells[i].load,
                 static_cast<unsigned long long>(cells[i].seed),
                 static_cast<unsigned long long>(seq[i].fct),
                 static_cast<unsigned long long>(seq[i].trace),
+                static_cast<unsigned long long>(seq[i].telemetry),
                 static_cast<unsigned long long>(seq[i].events),
                 same ? "OK" : "MISMATCH");
     if (!same) {
       ok = false;
       std::fprintf(stderr,
                    "MISMATCH cell %zu: jobs=%d gave fct=%016llx "
-                   "trace=%016llx events=%llu\n",
+                   "trace=%016llx tele=%016llx events=%llu\n",
                    i, jobs, static_cast<unsigned long long>(par[i].fct),
                    static_cast<unsigned long long>(par[i].trace),
+                   static_cast<unsigned long long>(par[i].telemetry),
                    static_cast<unsigned long long>(par[i].events));
     }
   }
@@ -196,9 +198,11 @@ int main(int argc, char** argv) {
   for (int r = 0; r < runs; ++r) {
     results.push_back(debug::run_digest_trial(s));
     const auto& d = results.back();
-    std::printf("  run %d: fct=%016llx trace=%016llx events=%llu flows=%llu%s\n",
+    std::printf("  run %d: fct=%016llx trace=%016llx tele=%016llx "
+                "events=%llu flows=%llu%s\n",
                 r + 1, static_cast<unsigned long long>(d.fct),
                 static_cast<unsigned long long>(d.trace),
+                static_cast<unsigned long long>(d.telemetry),
                 static_cast<unsigned long long>(d.events),
                 static_cast<unsigned long long>(d.flows),
                 d.drained ? "" : " (drain incomplete)");
@@ -209,9 +213,11 @@ int main(int argc, char** argv) {
     if (results[static_cast<std::size_t>(r)] == results[0]) continue;
     ok = false;
     const auto& d = results[static_cast<std::size_t>(r)];
-    std::fprintf(stderr, "MISMATCH run %d vs run 1:%s%s%s\n", r + 1,
+    std::fprintf(stderr, "MISMATCH run %d vs run 1:%s%s%s%s\n", r + 1,
                  d.fct != results[0].fct ? " fct-digest" : "",
                  d.trace != results[0].trace ? " event-trace-digest" : "",
+                 d.telemetry != results[0].telemetry ? " telemetry-digest"
+                                                     : "",
                  d.events != results[0].events ? " event-count" : "");
   }
   std::printf("%s\n", ok ? "DETERMINISTIC: all runs identical"
