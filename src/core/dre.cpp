@@ -11,8 +11,14 @@ namespace conga::core {
 
 Dre::Dre(DreConfig cfg, double link_rate_bps)
     : cfg_(cfg),
-      capacity_bytes_per_tau_(link_rate_bps / 8.0 * sim::to_seconds(cfg.tau())),
+      nominal_capacity_bytes_per_tau_(link_rate_bps / 8.0 *
+                                      sim::to_seconds(cfg.tau())),
+      capacity_bytes_per_tau_(nominal_capacity_bytes_per_tau_),
       max_metric_(static_cast<std::uint8_t>((1u << cfg.q_bits) - 1)) {}
+
+void Dre::set_rate_scale(double scale) {
+  capacity_bytes_per_tau_ = nominal_capacity_bytes_per_tau_ * scale;
+}
 
 void Dre::decay_to(sim::TimeNs now) const {
   const std::int64_t period = now / cfg_.t_dre;

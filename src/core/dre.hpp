@@ -62,6 +62,12 @@ class Dre {
   /// Largest representable metric value (2^Q - 1).
   std::uint8_t max_metric() const { return max_metric_; }
 
+  /// Rescales the normalization capacity C to `scale` of the construction
+  /// rate (runtime capacity degradation: utilization is measured against the
+  /// link's *current* capacity, as the switch ASIC tracking a shrunken LAG
+  /// would). scale == 1 restores the nominal rate.
+  void set_rate_scale(double scale);
+
   const DreConfig& config() const { return cfg_; }
   double raw_register(sim::TimeNs now) const;
 
@@ -84,7 +90,8 @@ class Dre {
   telemetry::TraceSink* tele_ = nullptr;
   std::uint32_t tele_comp_ = 0;
   std::string label_ = "dre";
-  double capacity_bytes_per_tau_;  ///< C * tau, in bytes
+  double nominal_capacity_bytes_per_tau_;  ///< C * tau at construction rate
+  double capacity_bytes_per_tau_;          ///< C * tau, in bytes (scaled)
   std::uint8_t max_metric_;
   mutable double x_ = 0.0;            ///< the register, in bytes
   mutable std::int64_t last_period_ = 0;  ///< floor(now / Tdre) at last decay

@@ -1,5 +1,6 @@
 #include "debug/determinism.hpp"
 
+#include "fault/fault_injector.hpp"
 #include "stats/digest.hpp"
 #include "telemetry/telemetry.hpp"
 #include "workload/traffic_gen.hpp"
@@ -38,6 +39,9 @@ RunDigests run_digest_trial(const DigestScenario& s) {
       s.transport ? s.transport : tcp::make_tcp_flow_factory({});
   workload::TrafficGenerator gen(fabric, transport, s.dist, gc);
   gen.start();
+
+  fault::FaultInjector injector(fabric, s.fault_seed);
+  injector.arm(s.faults);
 
   RunDigests r;
   r.drained = workload::run_with_drain(sched, gen, gc.stop, s.max_drain);

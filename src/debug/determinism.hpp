@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "fault/fault_plan.hpp"
 #include "net/fabric.hpp"
 #include "sim/time.hpp"
 #include "tcp/flow.hpp"
@@ -47,6 +48,12 @@ struct DigestScenario {
   std::uint64_t fabric_seed = 1;
   std::uint64_t traffic_seed = 7;
   TelemetryMode telemetry = TelemetryMode::kFull;
+  /// Fault campaign armed before the run (empty = no injector activity; the
+  /// trial is then bit-identical to one without the injector). Injected
+  /// faults are part of the fingerprinted schedule, so a fault-campaign
+  /// trial must reproduce its digests exactly like a fault-free one.
+  fault::FaultPlan faults;
+  std::uint64_t fault_seed = 11;
 };
 
 struct RunDigests {

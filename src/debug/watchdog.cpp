@@ -1,0 +1,62 @@
+#include "debug/watchdog.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+namespace conga::debug {
+
+LivenessWatchdog::LivenessWatchdog(sim::Scheduler& sched, WatchdogConfig cfg)
+    : sched_(sched), cfg_(cfg) {}
+
+void LivenessWatchdog::attach_telemetry(telemetry::TraceSink* sink) {
+  tele_ = sink;
+  tele_comp_ = sink != nullptr ? sink->intern_component("watchdog") : 0;
+}
+
+void LivenessWatchdog::watch(std::uint64_t tag, const tcp::FlowHandle* flow) {
+  Watch w;
+  w.flow = flow;
+  w.last_bytes = flow->progress_bytes();
+  w.last_progress = sched_.now();
+  watched_[tag] = w;
+  schedule_poll();
+}
+
+void LivenessWatchdog::unwatch(std::uint64_t tag) {
+  auto it = watched_.find(tag);
+  if (it == watched_.end()) return;
+  if (it->second.reported) --currently_stalled_;
+  watched_.erase(it);
+}
+
+void LivenessWatchdog::schedule_poll() {
+  if (poll_scheduled_ || watched_.empty()) return;
+  poll_scheduled_ = true;
+  sched_.schedule_after(cfg_.poll_interval, [this] { poll(); });
+}
+
+void LivenessWatchdog::poll() {
+  poll_scheduled_ = false;
+  const sim::TimeNs now = sched_.now();
+  for (auto& [tag, w] : watched_) {
+    const std::uint64_t bytes = w.flow->progress_bytes();
+    if (bytes != w.last_bytes) {
+      w.last_bytes = bytes;
+      w.last_progress = now;
+      if (w.reported) {
+        w.reported = false;  // episode over; a new stall reports again
+        --currently_stalled_;
+      }
+      continue;
+    }
+    if (!w.reported && now - w.last_progress >= cfg_.horizon) {
+      w.reported = true;
+      ++currently_stalled_;
+      stalls_.push_back({tag, bytes, w.last_progress, now});
+      telemetry::emit(tele_, telemetry::EventType::kFlowStalled, tele_comp_,
+                      now, tag, bytes);
+    }
+  }
+  schedule_poll();
+}
+
+}  // namespace conga::debug

@@ -1,0 +1,101 @@
+// Liveness watchdog: detects flows making no forward progress.
+//
+// A blackholed flow (failed link inside the detection window, gray loss on
+// its only viable path, a load balancer steering into a withdrawn port) does
+// not crash the simulation — it just silently never finishes, and a bounded
+// drain converts that into an unexplained "drain incomplete". The watchdog
+// turns silence into a signal: it polls every watched flow's
+// progress_bytes() and reports any flow that advanced by nothing for a full
+// horizon.
+//
+// The watchdog is active instrumentation — it schedules its polling events
+// on the simulation's scheduler, so (unlike the passive TraceSink) attaching
+// it perturbs the event-trace digest. It is strictly pay-for-what-you-use:
+// with nothing watched, nothing is ever scheduled. Polling stops as soon as
+// the watch set empties and resumes when a flow is watched again.
+//
+// A stall is reported once per episode: a flow that stalls, resumes, and
+// stalls again yields two reports. Reports accumulate in stalls() and are
+// emitted as kFlowStalled telemetry events (a: flow tag, b: bytes
+// delivered).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "tcp/flow.hpp"
+
+namespace conga::telemetry {
+class TraceSink;
+}  // namespace conga::telemetry
+
+namespace conga::debug {
+
+struct WatchdogConfig {
+  /// A flow whose progress_bytes() is unchanged for this long is stalled.
+  sim::TimeNs horizon = sim::milliseconds(50);
+  /// How often the watch set is polled. Detection latency is in
+  /// [horizon, horizon + poll_interval).
+  sim::TimeNs poll_interval = sim::milliseconds(5);
+};
+
+struct StallReport {
+  std::uint64_t tag = 0;             ///< caller's flow id
+  std::uint64_t progress_bytes = 0;  ///< bytes delivered when detected
+  sim::TimeNs last_progress = 0;     ///< when progress last advanced
+  sim::TimeNs detected = 0;          ///< when the watchdog noticed
+};
+
+class LivenessWatchdog final : public tcp::FlowMonitor {
+ public:
+  LivenessWatchdog(sim::Scheduler& sched, WatchdogConfig cfg = {});
+
+  LivenessWatchdog(const LivenessWatchdog&) = delete;
+  LivenessWatchdog& operator=(const LivenessWatchdog&) = delete;
+
+  /// Starts monitoring `flow` under `tag`. The flow must outlive the watch
+  /// (unwatch before destroying it).
+  void watch(std::uint64_t tag, const tcp::FlowHandle* flow);
+  void unwatch(std::uint64_t tag);
+  std::size_t watched() const { return watched_.size(); }
+
+  // tcp::FlowMonitor — lets a TrafficGenerator drive watch/unwatch.
+  void on_flow_started(std::uint64_t id, const tcp::FlowHandle& flow) override {
+    watch(id, &flow);
+  }
+  void on_flow_finished(std::uint64_t id) override { unwatch(id); }
+
+  const std::vector<StallReport>& stalls() const { return stalls_; }
+  std::uint64_t stall_count() const { return stalls_.size(); }
+  /// Watched flows currently inside a stall episode.
+  std::size_t currently_stalled() const { return currently_stalled_; }
+
+  /// Routes kFlowStalled events to `sink` (nullptr detaches).
+  void attach_telemetry(telemetry::TraceSink* sink);
+
+ private:
+  struct Watch {
+    const tcp::FlowHandle* flow = nullptr;
+    std::uint64_t last_bytes = 0;
+    sim::TimeNs last_progress = 0;
+    bool reported = false;  ///< current episode already reported
+  };
+
+  void poll();
+  void schedule_poll();
+
+  sim::Scheduler& sched_;
+  WatchdogConfig cfg_;
+  // Ordered by tag so polling (and hence stall-report order and telemetry)
+  // is deterministic regardless of insertion pattern.
+  std::map<std::uint64_t, Watch> watched_;
+  std::vector<StallReport> stalls_;
+  std::size_t currently_stalled_ = 0;
+  bool poll_scheduled_ = false;
+  telemetry::TraceSink* tele_ = nullptr;
+  std::uint32_t tele_comp_ = 0;
+};
+
+}  // namespace conga::debug

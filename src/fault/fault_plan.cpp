@@ -1,0 +1,95 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+
+namespace conga::fault {
+
+FaultPlan make_random_plan(const net::TopologyConfig& topo, std::uint64_t seed,
+                           const RandomPlanConfig& cfg) {
+  sim::Rng rng(seed);
+  FaultPlan plan;
+  const int n = static_cast<int>(
+      rng.uniform_int(cfg.min_faults, std::max(cfg.min_faults,
+                                               cfg.max_faults)));
+  // A fault window [start, stop) drawn so that stop <= horizon: faults clear
+  // before the drain, keeping randomized campaigns livable by construction.
+  auto window = [&](sim::TimeNs& start, sim::TimeNs& stop) {
+    const auto h = static_cast<double>(cfg.horizon);
+    start = static_cast<sim::TimeNs>(rng.uniform(0.0, 0.6 * h));
+    stop = static_cast<sim::TimeNs>(
+        rng.uniform(static_cast<double>(start) + 0.05 * h, h));
+  };
+  auto triple = [&](int& leaf, int& spine, int& parallel) {
+    leaf = static_cast<int>(rng.uniform_int(0, topo.num_leaves - 1));
+    spine = static_cast<int>(rng.uniform_int(0, topo.num_spines - 1));
+    parallel = static_cast<int>(rng.uniform_int(0, topo.links_per_spine - 1));
+  };
+
+  for (int i = 0; i < n; ++i) {
+    switch (rng.uniform_int(0, 4)) {
+      case 0: {
+        LinkFlapSpec s;
+        triple(s.leaf, s.spine, s.parallel);
+        window(s.start, s.stop);
+        s.detection_delay = cfg.detection_delay;
+        s.mean_down_dwell = static_cast<sim::TimeNs>(
+            rng.uniform(static_cast<double>(sim::microseconds(50)),
+                        static_cast<double>(sim::microseconds(500))));
+        s.mean_up_dwell = static_cast<sim::TimeNs>(
+            rng.uniform(static_cast<double>(sim::microseconds(100)),
+                        static_cast<double>(sim::milliseconds(1))));
+        plan.add(s);
+        break;
+      }
+      case 1: {
+        DegradeSpec s;
+        triple(s.leaf, s.spine, s.parallel);
+        window(s.start, s.stop);
+        s.rate_scale = rng.uniform(0.05, 0.5);
+        plan.add(s);
+        break;
+      }
+      case 2: {
+        GrayFailureSpec s;
+        triple(s.leaf, s.spine, s.parallel);
+        window(s.start, s.stop);
+        s.drop_prob = rng.uniform(0.0, cfg.max_gray_drop_prob);
+        s.corrupt_prob = rng.uniform(0.0, cfg.max_gray_corrupt_prob);
+        plan.add(s);
+        break;
+      }
+      case 3: {
+        SwitchRebootSpec s;
+        // Leaf reboots sever all of a rack's uplinks; spine reboots remove
+        // one core switch. Both must end early enough to drain.
+        s.kind = rng.chance(0.5) ? SwitchRebootSpec::Kind::kLeaf
+                                 : SwitchRebootSpec::Kind::kSpine;
+        s.index = static_cast<int>(rng.uniform_int(
+            0, (s.kind == SwitchRebootSpec::Kind::kLeaf ? topo.num_leaves
+                                                        : topo.num_spines) -
+                   1));
+        const auto h = static_cast<double>(cfg.horizon);
+        s.at = static_cast<sim::TimeNs>(rng.uniform(0.0, 0.5 * h));
+        s.outage = static_cast<sim::TimeNs>(
+            rng.uniform(0.05 * h, std::min(0.25 * h,
+                                           static_cast<double>(cfg.horizon -
+                                                               s.at))));
+        s.detection_delay = cfg.detection_delay;
+        plan.add(s);
+        break;
+      }
+      default: {
+        StaleFeedbackSpec s;
+        triple(s.leaf, s.spine, s.parallel);
+        window(s.start, s.stop);
+        plan.add(s);
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace conga::fault

@@ -111,6 +111,7 @@ void Fabric::build() {
   down_live_.assign(static_cast<std::size_t>(S) * static_cast<std::size_t>(L) *
                         static_cast<std::size_t>(P),
                     0);
+  fault_epoch_.assign(down_live_.size(), 0);
   down_links_.assign(static_cast<std::size_t>(S),
                      std::vector<std::vector<Link*>>(
                          static_cast<std::size_t>(L),
@@ -219,10 +220,16 @@ void Fabric::fail_fabric_link(int leaf, int spine, int parallel,
   // Dataplane dies immediately...
   up->set_up(false);
   down->set_up(false);
-  // ...the control plane notices after the detection window.
+  // ...the control plane notices after the detection window. Only the most
+  // recent fail/restore call for this triple gets to apply: a flap faster
+  // than the detection window supersedes the earlier handler.
+  const std::uint64_t epoch = ++fault_epoch_[live_index(spine, leaf, parallel)];
   sched_.schedule_after(detection_delay, [this, leaf, spine, parallel, up,
-                                          down] {
-    down_live_[live_index(spine, leaf, parallel)] = 0;
+                                          down, epoch] {
+    const std::size_t idx = live_index(spine, leaf, parallel);
+    if (fault_epoch_[idx] != epoch) return;  // superseded by a later call
+    if (down_live_[idx] == 0) return;        // already withdrawn
+    down_live_[idx] = 0;
     leaves_[static_cast<std::size_t>(leaf)]->set_uplink_live(
         uplink_index(leaf, up), false);
     spines_[static_cast<std::size_t>(spine)]->remove_downlink(leaf, down);
@@ -248,9 +255,14 @@ void Fabric::restore_fabric_link(int leaf, int spine, int parallel,
   assert(up != nullptr && down != nullptr);
   up->set_up(true);
   down->set_up(true);
+  const std::uint64_t epoch = ++fault_epoch_[live_index(spine, leaf, parallel)];
   sched_.schedule_after(detection_delay, [this, leaf, spine, parallel, up,
-                                          down] {
-    down_live_[live_index(spine, leaf, parallel)] = 1;
+                                          down, epoch] {
+    const std::size_t idx = live_index(spine, leaf, parallel);
+    if (fault_epoch_[idx] != epoch) return;  // superseded by a later call
+    if (down_live_[idx] != 0) return;        // already live (fail was
+                                             // superseded before applying)
+    down_live_[idx] = 1;
     leaves_[static_cast<std::size_t>(leaf)]->set_uplink_live(
         uplink_index(leaf, up), true);
     spines_[static_cast<std::size_t>(spine)]->add_downlink(leaf, down);
@@ -330,6 +342,37 @@ void Fabric::register_probes() {
       return total;
     });
   }
+  // Fabric-wide drop accounting, split by cause. Queue overflow is counted
+  // by the queues; the other causes by the links' fault hooks.
+  const std::vector<Link*>* fab = &fabric_links_;
+  reg.add_counter("fabric/drops_queue", [fab] {
+    std::uint64_t n = 0;
+    for (const Link* l : *fab) n += l->queue().stats().dropped_pkts;
+    return n;
+  });
+  reg.add_counter("fabric/drops_admin_down", [fab] {
+    std::uint64_t n = 0;
+    for (const Link* l : *fab) n += l->drop_stats().admin_down_pkts;
+    return n;
+  });
+  reg.add_counter("fabric/drops_gray", [fab] {
+    std::uint64_t n = 0;
+    for (const Link* l : *fab) n += l->drop_stats().gray_pkts;
+    return n;
+  });
+  reg.add_counter("fabric/drops_corrupt", [fab] {
+    std::uint64_t n = 0;
+    for (const Link* l : *fab) n += l->drop_stats().corrupt_pkts;
+    return n;
+  });
+  // No-route drops at the switches (all candidate ports withdrawn): the one
+  // drop cause that lives above the links.
+  reg.add_counter("fabric/drops_no_route", [this] {
+    std::uint64_t n = 0;
+    for (const auto& l : leaves_) n += l->dropped_no_route();
+    for (const auto& s : spines_) n += s->dropped_no_route();
+    return n;
+  });
   sim::Scheduler* sched = &sched_;
   reg.add_counter("sched/events_dispatched",
                   [sched] { return sched->events_dispatched(); });

@@ -65,6 +65,10 @@ class Fabric {
 
   /// The spine -> leaf link for (spine, leaf, parallel); nullptr if failed.
   Link* down_link(int spine, int leaf, int parallel);
+  /// The leaf -> spine link for (leaf, spine, parallel); nullptr if it was
+  /// removed at build time. The fault injector drives per-link hooks
+  /// (rate scale, gray failure, CE suppression) through this.
+  Link* up_link(int leaf, int spine, int parallel);
   /// The host's access links.
   Link* host_to_leaf(HostId h) { return host_up_[static_cast<std::size_t>(h)]; }
   Link* leaf_to_host(HostId h) { return host_down_[static_cast<std::size_t>(h)]; }
@@ -77,11 +81,18 @@ class Fabric {
   /// immediately); after `detection_delay` the routing layer notices and
   /// withdraws the link from the leaf's and spine's forwarding state.
   /// Models the failure-detection window real fabrics have.
+  ///
+  /// Re-entrancy: fail/restore calls may overlap an earlier call's detection
+  /// window (a flapping link). Each call bumps the triple's epoch and only
+  /// the most recent call's detection handler applies — superseded handlers
+  /// no-op, and a handler whose target state is already in place (e.g.
+  /// fail→fail) does nothing, so forwarding state is never double-flipped.
   void fail_fabric_link(int leaf, int spine, int parallel,
                         sim::TimeNs detection_delay = 0);
 
   /// Restores a previously failed link pair (forwarding state is reinstated
-  /// after `detection_delay`).
+  /// after `detection_delay`). Same last-call-wins epoch semantics as
+  /// fail_fabric_link().
   void restore_fabric_link(int leaf, int spine, int parallel,
                            sim::TimeNs detection_delay = 0);
 
@@ -100,9 +111,6 @@ class Fabric {
   /// Recomputes every leaf's per-destination reachability from the spines'
   /// current downlink state (runtime failures change it).
   void recompute_reachability();
-  /// The leaf -> spine link for (leaf, spine, parallel); nullptr if it was
-  /// removed at build time.
-  Link* up_link(int leaf, int spine, int parallel);
   int uplink_index(int leaf, Link* link) const;
   /// Flat index into down_live_ for (spine, leaf, parallel).
   std::size_t live_index(int spine, int leaf, int parallel) const {
@@ -139,6 +147,11 @@ class Fabric {
   // recompute_reachability() reads a flag instead of scanning a list of
   // failed triples for every (spine, leaf, parallel) combination.
   std::vector<std::uint8_t> down_live_;
+  // Per-triple epoch counter, bumped by every fail/restore call. Detection
+  // handlers capture the epoch of their call and no-op if a later call
+  // superseded them, so overlapping fail/restore sequences (link flaps
+  // faster than the detection window) resolve to the last call's state.
+  std::vector<std::uint64_t> fault_epoch_;
   telemetry::TraceSink* tele_ = nullptr;
 };
 

@@ -39,6 +39,19 @@ void LeafSwitch::send_to_fabric(PacketPtr pkt, LeafId dst_leaf) {
   assert(lb_ != nullptr && "no load balancer installed");
   assert(!uplinks_.empty() && "leaf has no live uplinks");
 
+  // Total partition toward dst_leaf (every uplink withdrawn — e.g. a
+  // rebooting leaf, or the whole spine tier down): there is no route, so the
+  // packet is dropped here. Load balancers are never invoked with an empty
+  // candidate set.
+  bool routable = false;
+  for (std::size_t u = 0; u < uplinks_.size() && !routable; ++u) {
+    routable = uplink_reaches(static_cast<int>(u), dst_leaf);
+  }
+  if (!routable) {
+    ++dropped_no_route_;
+    return;
+  }
+
   pkt->overlay.valid = true;
   pkt->overlay.src_leaf = id_;
   pkt->overlay.dst_leaf = dst_leaf;

@@ -84,6 +84,9 @@ class LeafSwitch : public Node {
 
   std::uint64_t packets_to_fabric() const { return packets_to_fabric_; }
   std::uint64_t packets_from_fabric() const { return packets_from_fabric_; }
+  /// Packets dropped because no uplink could reach the destination leaf
+  /// (every candidate withdrawn — a switch-reboot fault, not overload).
+  std::uint64_t dropped_no_route() const { return dropped_no_route_; }
 
  private:
   void forward_down(PacketPtr pkt);
@@ -104,6 +107,7 @@ class LeafSwitch : public Node {
   std::vector<std::pair<HostId, Link*>> down_links_;
   std::uint64_t packets_to_fabric_ = 0;
   std::uint64_t packets_from_fabric_ = 0;
+  std::uint64_t dropped_no_route_ = 0;
 };
 
 }  // namespace conga::net

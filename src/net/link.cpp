@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 #include "telemetry/telemetry.hpp"
@@ -33,6 +34,22 @@ void Link::set_up(bool up) {
                   tele_comp_, sched_.now(), up ? 1 : 0);
 }
 
+void Link::set_rate_scale(double scale) {
+  if (scale == rate_scale_) return;
+  rate_scale_ = scale;
+  dre_.set_rate_scale(scale);
+  telemetry::emit(tele_, telemetry::EventType::kLinkDegraded, tele_comp_,
+                  sched_.now(),
+                  static_cast<std::uint64_t>(std::llround(scale * 1000.0)));
+}
+
+void Link::set_gray_failure(double drop_prob, double corrupt_prob,
+                            std::uint64_t seed) {
+  gray_drop_prob_ = drop_prob;
+  gray_corrupt_prob_ = corrupt_prob;
+  gray_rng_ = sim::Rng(seed);
+}
+
 void Link::attach_telemetry(telemetry::TraceSink* sink) {
   tele_ = sink;
   tele_comp_ = sink != nullptr ? sink->intern_component(name_) : 0;
@@ -42,7 +59,29 @@ void Link::attach_telemetry(telemetry::TraceSink* sink) {
 
 void Link::send(PacketPtr pkt) {
   assert(dst_ != nullptr && "link not connected");
-  if (!up_) return;  // black-hole on a failed link
+  ++packets_offered_;
+  bytes_offered_ += pkt->size_bytes;
+  if (!up_) {  // black-hole on a failed link
+    ++drop_stats_.admin_down_pkts;
+    drop_stats_.admin_down_bytes += pkt->size_bytes;
+    telemetry::emit(tele_, telemetry::EventType::kLinkDropAdminDown,
+                    tele_comp_, sched_.now(), pkt->size_bytes);
+    return;
+  }
+  if (gray_drop_prob_ > 0.0 && gray_rng_.chance(gray_drop_prob_)) {
+    ++drop_stats_.gray_pkts;
+    drop_stats_.gray_bytes += pkt->size_bytes;
+    telemetry::emit(
+        tele_, telemetry::EventType::kLinkDropGray, tele_comp_, sched_.now(),
+        pkt->size_bytes,
+        static_cast<std::uint64_t>(std::llround(gray_drop_prob_ * 1e6)));
+    return;
+  }
+  if (gray_corrupt_prob_ > 0.0 && gray_rng_.chance(gray_corrupt_prob_)) {
+    // Bit error on the wire: the packet still occupies the link (charges the
+    // DRE, accumulates CE) but the far end discards it on receipt.
+    pkt->corrupted = true;
+  }
   if (!queue_.enqueue(std::move(pkt), sched_.now())) return;  // tail drop
   if (!busy_) start_transmission();
 }
@@ -54,7 +93,7 @@ void Link::start_transmission() {
 
   const sim::TimeNs now = sched_.now();
   dre_.add(pkt->size_bytes, now);
-  if (cfg_.marks_ce && pkt->overlay.valid) {
+  if (cfg_.marks_ce && pkt->overlay.valid && !ce_suppressed_) {
     const std::uint8_t q = dre_.quantized(now);
     if (cfg_.ce_sum) {
       pkt->overlay.ce = static_cast<std::uint8_t>(
@@ -66,6 +105,7 @@ void Link::start_transmission() {
 
   bytes_sent_ += pkt->size_bytes;
   ++packets_sent_;
+  ++in_flight_pkts_;
 
   const sim::TimeNs ser = serialization_delay(pkt->size_bytes);
   // Wire free after serialization: start on the next queued packet.
@@ -76,6 +116,18 @@ void Link::start_transmission() {
   // Far end sees the packet after serialization + propagation.
   sched_.schedule_after(ser + cfg_.propagation_delay,
                         [this, p = std::move(pkt)]() mutable {
+                          --in_flight_pkts_;
+                          if (p->corrupted) {
+                            ++drop_stats_.corrupt_pkts;
+                            drop_stats_.corrupt_bytes += p->size_bytes;
+                            telemetry::emit(
+                                tele_,
+                                telemetry::EventType::kLinkDropCorrupt,
+                                tele_comp_, sched_.now(), p->size_bytes);
+                            return;
+                          }
+                          ++packets_delivered_;
+                          bytes_delivered_ += p->size_bytes;
                           dst_->receive(std::move(p), dst_port_);
                         });
 }

@@ -102,6 +102,7 @@ struct Packet {
   sim::TimeNs enqueued_at = 0;   ///< set by queues, for latency accounting
   bool ecn_ce = false;           ///< ECN Congestion-Experienced codepoint
   bool ecn_echo = false;         ///< ECE on ACKs (echoed per packet, DCTCP)
+  bool corrupted = false;        ///< gray-failure bit error; dropped at rx
   TcpHeader tcp;
   OverlayHeader overlay;
 

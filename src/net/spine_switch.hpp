@@ -35,6 +35,13 @@ class SpineSwitch : public Node {
   /// Removes a failed downlink from the forwarding table.
   void remove_downlink(LeafId leaf, Link* link);
 
+  /// Downlinks currently in the forwarding table for `leaf` (re-entrancy
+  /// tests assert fail/restore sequences never double-remove or
+  /// duplicate-add a port).
+  std::size_t downlink_count(LeafId leaf) const {
+    return ports_to_leaf_[static_cast<std::size_t>(leaf)].size();
+  }
+
   /// 3-tier wiring: declares pod membership (per global leaf id) and this
   /// spine's own pod. Destinations in other pods route via core uplinks.
   void set_pod_membership(std::vector<int> leaf_to_pod, int my_pod) {

@@ -31,6 +31,22 @@ class FctCollector {
 
   std::size_t count() const { return records_.size(); }
 
+  /// Accounts a flow that never completed (reported after the drain gives
+  /// up): `delivered_bytes` of its `size_bytes` made it. Unfinished flows
+  /// are tracked separately from records_ — they have no FCT, and keeping
+  /// them out of records_ leaves the FCT digest a function of completed
+  /// flows only.
+  void record_unfinished(std::uint64_t size_bytes,
+                         std::uint64_t delivered_bytes) {
+    ++unfinished_;
+    bytes_outstanding_ +=
+        size_bytes > delivered_bytes ? size_bytes - delivered_bytes : 0;
+  }
+
+  /// Flows accounted via record_unfinished() and their undelivered bytes.
+  std::size_t unfinished_count() const { return unfinished_; }
+  std::uint64_t bytes_outstanding() const { return bytes_outstanding_; }
+
   /// Mean of FCT / optimal-FCT over all flows ("FCT (Norm. to Optimal)").
   double avg_normalized_fct() const;
 
@@ -57,6 +73,8 @@ class FctCollector {
 
  private:
   std::vector<FlowRecord> records_;
+  std::size_t unfinished_ = 0;
+  std::uint64_t bytes_outstanding_ = 0;
 };
 
 }  // namespace conga::stats

@@ -30,6 +30,10 @@ class FlowHandle {
   /// Begins transmission. Must be called exactly once.
   virtual void start() = 0;
 
+  /// Payload bytes delivered in order at the receiver so far — the forward
+  /// progress the liveness watchdog monitors. Equals size() once complete.
+  virtual std::uint64_t progress_bytes() const = 0;
+
   std::uint64_t size() const { return size_; }
   sim::TimeNs start_time() const { return start_time_; }
   bool complete() const { return completion_time_ >= 0; }
@@ -47,6 +51,18 @@ class FlowHandle {
 
 using FlowCompleteFn = std::function<void(FlowHandle&)>;
 
+/// Observes flow lifetimes. The traffic generator notifies an attached
+/// monitor as flows start and finish; the liveness watchdog implements this
+/// to track per-flow forward progress. Lives at the tcp layer so workload
+/// code need not depend on the debug tooling that implements it.
+class FlowMonitor {
+ public:
+  virtual ~FlowMonitor() = default;
+  /// `flow` stays valid until on_flow_finished(id) is called.
+  virtual void on_flow_started(std::uint64_t id, const FlowHandle& flow) = 0;
+  virtual void on_flow_finished(std::uint64_t id) = 0;
+};
+
 /// Creates an un-started flow of `size` payload bytes from src to dst with
 /// wire identity `key`. Completion == last payload byte delivered in order
 /// at the receiver.
@@ -62,6 +78,8 @@ class TcpFlow final : public FlowHandle {
           FlowCompleteFn on_complete);
 
   void start() override;
+
+  std::uint64_t progress_bytes() const override { return sink_.delivered(); }
 
   const TcpSender& sender() const { return sender_; }
   const TcpSink& sink() const { return sink_; }

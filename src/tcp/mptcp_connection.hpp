@@ -39,6 +39,8 @@ class MptcpFlow final : public FlowHandle {
 
   void start() override;
 
+  std::uint64_t progress_bytes() const override { return delivered_; }
+
   /// Sum of subflow congestion windows, bytes.
   double total_cwnd() const;
   /// The current LIA coupling factor.

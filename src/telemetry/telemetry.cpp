@@ -18,7 +18,10 @@ constexpr const char* kTypeNames[] = {
     "flowlet_path_change", "conga_to_leaf_update", "conga_from_leaf_update",
     "tcp_cwnd",          "tcp_rto",        "tcp_retransmit",
     "flow_start",        "flow_finish",    "counter_sample",
-    "gauge_sample",
+    "gauge_sample",      "link_drop_admin_down", "link_drop_gray",
+    "link_drop_corrupt", "fault_link_flap", "fault_degrade",
+    "fault_gray",        "fault_switch_reboot", "fault_stale_feedback",
+    "flow_stalled",
 };
 static_assert(sizeof(kTypeNames) / sizeof(kTypeNames[0]) ==
                   static_cast<std::size_t>(EventType::kTypeCount),
@@ -26,6 +29,7 @@ static_assert(sizeof(kTypeNames) / sizeof(kTypeNames[0]) ==
 
 constexpr const char* kCategoryNames[] = {
     "queue", "link", "dre", "flowlet", "conga_table", "tcp", "flow", "probe",
+    "fault",
 };
 static_assert(sizeof(kCategoryNames) / sizeof(kCategoryNames[0]) ==
                   static_cast<std::size_t>(Category::kCount),

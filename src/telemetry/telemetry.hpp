@@ -41,8 +41,9 @@ enum class Category : std::uint8_t {
   kFlowlet,     ///< flowlet create / expire / path change
   kCongaTable,  ///< congestion-to-leaf / from-leaf table updates
   kTcp,         ///< cwnd discontinuities, RTO, retransmits
-  kFlow,        ///< flow start / finish
+  kFlow,        ///< flow start / finish / stall reports
   kProbe,       ///< periodic counter / gauge samples
+  kFault,       ///< injected fault transitions (src/fault/)
   kCount,
 };
 
@@ -84,6 +85,24 @@ enum class EventType : std::uint8_t {
   // kProbe — counter: a value, b delta; gauge: a value (double bit pattern).
   kCounterSample,
   kGaugeSample,
+  // Cause-tagged link drops (kLink) — a: packet bytes, b: cause detail
+  // (gray: drop probability in ppm; others 0). Queue-overflow drops keep
+  // their own kQueueDrop kind, so every drop in a trace names its cause.
+  kLinkDropAdminDown,  ///< handed to an administratively-down link
+  kLinkDropGray,       ///< injected gray-failure Bernoulli loss
+  kLinkDropCorrupt,    ///< transmitted but corrupted on the wire
+  // kFault — injected fault transitions, emitted by the FaultInjector.
+  // a: 1 = fault asserted / link down, 0 = cleared / link up. b: spec detail
+  // (flap: (leaf<<16)|(spine<<8)|parallel; degrade: rate permille;
+  // gray: drop ppm in high 32 bits | corrupt ppm low; reboot:
+  // (kind<<16)|index; stale feedback: (leaf<<16)|(spine<<8)|parallel).
+  kFaultLinkFlap,
+  kFaultDegrade,
+  kFaultGray,
+  kFaultSwitchReboot,
+  kFaultStaleFeedback,
+  // kFlow — watchdog stall report. a: flow tag, b: bytes delivered so far.
+  kFlowStalled,
   kTypeCount,
 };
 
@@ -99,6 +118,9 @@ constexpr Category category_of(EventType t) {
     case EventType::kLinkWithdrawn:
     case EventType::kLinkRestored:
     case EventType::kLinkDegraded:
+    case EventType::kLinkDropAdminDown:
+    case EventType::kLinkDropGray:
+    case EventType::kLinkDropCorrupt:
       return Category::kLink;
     case EventType::kDreUpdate:
       return Category::kDre;
@@ -115,7 +137,14 @@ constexpr Category category_of(EventType t) {
       return Category::kTcp;
     case EventType::kFlowStart:
     case EventType::kFlowFinish:
+    case EventType::kFlowStalled:
       return Category::kFlow;
+    case EventType::kFaultLinkFlap:
+    case EventType::kFaultDegrade:
+    case EventType::kFaultGray:
+    case EventType::kFaultSwitchReboot:
+    case EventType::kFaultStaleFeedback:
+      return Category::kFault;
     default:
       return Category::kProbe;
   }

@@ -21,6 +21,7 @@ ExperimentResult run_fct_experiment(const ExperimentConfig& cfg) {
 
   ExperimentResult r;
   r.drained = run_with_drain(sched, gen, gen_cfg.stop, cfg.max_drain);
+  if (!r.drained) gen.account_unfinished();
 
   const stats::FctCollector& c = gen.collector();
   r.avg_norm_fct = c.avg_normalized_fct();
@@ -37,6 +38,8 @@ ExperimentResult run_fct_experiment(const ExperimentConfig& cfg) {
           ? 1.0
           : static_cast<double>(gen.measured_completed()) /
                 static_cast<double>(gen.measured_started());
+  r.unfinished_flows = c.unfinished_count();
+  r.bytes_outstanding = c.bytes_outstanding();
   return r;
 }
 

@@ -40,6 +40,8 @@ struct ExperimentResult {
   std::size_t large_flows = 0;
   double completed_fraction = 0;  ///< measured flows that finished in time
   bool drained = false;           ///< all measured flows completed
+  std::size_t unfinished_flows = 0;     ///< measured flows still live
+  std::uint64_t bytes_outstanding = 0;  ///< their undelivered bytes
 };
 
 /// Runs one experiment cell to completion and summarizes it.

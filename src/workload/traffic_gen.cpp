@@ -1,5 +1,6 @@
 #include "workload/traffic_gen.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <utility>
@@ -92,6 +93,7 @@ void TrafficGenerator::launch_flow() {
       [this, id](tcp::FlowHandle& f) { on_flow_complete(id, f); });
   tcp::FlowHandle* raw = flow.get();
   flows_.emplace(id, std::move(flow));
+  if (monitor_ != nullptr) monitor_->on_flow_started(id, *raw);
   raw->start();
 }
 
@@ -103,10 +105,26 @@ void TrafficGenerator::on_flow_complete(std::uint64_t id,
     ++measured_completed_;
     collector_.record(flow.size(), flow.fct(), optimal_fct(flow.size()));
   }
+  if (monitor_ != nullptr) monitor_->on_flow_finished(id);
   dead_.push_back(id);
   if (!reap_scheduled_) {
     reap_scheduled_ = true;
     fabric_.scheduler().schedule_after(0, [this] { reap(); });
+  }
+}
+
+void TrafficGenerator::account_unfinished() {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) {
+    if (!flow->complete()) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint64_t id : ids) {
+    const tcp::FlowHandle& f = *flows_.at(id);
+    const bool measured = f.start_time() >= cfg_.measure_start &&
+                          f.start_time() < cfg_.measure_stop;
+    if (measured) collector_.record_unfinished(f.size(), f.progress_bytes());
   }
 }
 

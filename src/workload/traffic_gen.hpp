@@ -50,6 +50,16 @@ class TrafficGenerator {
   /// Schedules the arrival process. Call before Scheduler::run*.
   void start();
 
+  /// Attaches a flow monitor (e.g. debug::LivenessWatchdog): it is notified
+  /// as flows launch and complete. Call before start(); nullptr detaches.
+  void set_monitor(tcp::FlowMonitor* monitor) { monitor_ = monitor; }
+
+  /// Folds every still-live measured flow into the collector's
+  /// unfinished-flow accounting (count + bytes outstanding). Call once,
+  /// after the drain has given up; live flows are iterated in id order so
+  /// the accounting is deterministic.
+  void account_unfinished();
+
   const stats::FctCollector& collector() const { return collector_; }
   std::uint64_t flows_started() const { return started_; }
   std::uint64_t measured_started() const { return measured_started_; }
@@ -78,6 +88,7 @@ class TrafficGenerator {
   double lambda_;
 
   stats::FctCollector collector_;
+  tcp::FlowMonitor* monitor_ = nullptr;
   std::unordered_map<std::uint64_t, std::unique_ptr<tcp::FlowHandle>> flows_;
   std::vector<std::uint64_t> dead_;
   bool reap_scheduled_ = false;

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault_plan.hpp"
 #include "lb/factories.hpp"
+#include "runtime/parallel_runner.hpp"
 #include "stats/digest.hpp"
 #include "stats/fct_collector.hpp"
 #include "workload/flow_size_dist.hpp"
@@ -101,6 +103,32 @@ TEST(DeterminismRegression, SameSeedsSameDigestsUnderEcmp) {
   const debug::RunDigests b = debug::run_digest_trial(s);
   ASSERT_GT(a.flows, 0u);
   EXPECT_TRUE(a == b);
+}
+
+TEST(DeterminismRegression, GrayFailureCampaignIsDeterministicAcrossJobs) {
+  // A gray-failure campaign adds a second consumer of randomness (per-link
+  // loss draws). The digests must still be a pure function of the scenario:
+  // identical when the same cell runs sequentially or on a thread pool.
+  auto scenario = [](std::size_t cell) {
+    debug::DigestScenario s = small_scenario(1, 7 + cell);
+    fault::GrayFailureSpec g;
+    g.leaf = static_cast<int>(cell % 3);
+    g.drop_prob = 0.02;
+    g.corrupt_prob = 0.01;
+    g.start = sim::milliseconds(1);
+    g.stop = sim::milliseconds(4);
+    s.faults.add(g);
+    return s;
+  };
+  const std::size_t kCells = 4;
+  const auto sequential = runtime::parallel_map<debug::RunDigests>(
+      kCells, 1, [&](std::size_t i) { return debug::run_digest_trial(scenario(i)); });
+  const auto threaded = runtime::parallel_map<debug::RunDigests>(
+      kCells, 4, [&](std::size_t i) { return debug::run_digest_trial(scenario(i)); });
+  for (std::size_t i = 0; i < kCells; ++i) {
+    ASSERT_GT(sequential[i].flows, 0u);
+    EXPECT_TRUE(sequential[i] == threaded[i]) << "cell " << i;
+  }
 }
 
 TEST(DeterminismRegression, DifferentTrafficSeedDiffers) {

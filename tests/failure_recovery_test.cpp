@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "lb/factories.hpp"
 #include "net/fabric.hpp"
 #include "tcp/flow.hpp"
@@ -144,6 +145,114 @@ TEST(FailureRecovery, RestoredLinkCarriesTrafficAgain) {
   sched.run_until(sim::milliseconds(80));
   EXPECT_GT(ups[0].link->bytes_sent(), before)
       << "the restored uplink must attract flowlets again";
+}
+
+TEST(FailureRecovery, FailRestoreFailWithinOneDetectionWindow) {
+  // Regression: overlapping fail/restore calls used to apply every handler,
+  // double-flipping liveness and duplicating spine forwarding entries. Only
+  // the LAST call may take effect, after its own detection delay.
+  sim::Scheduler sched;
+  Fabric fabric(sched, topo2x2(), 1);
+  fabric.install_lb(core::conga());
+
+  fabric.fail_fabric_link(0, 1, 0, sim::microseconds(300));
+  sched.schedule_at(sim::microseconds(100), [&] {
+    fabric.restore_fabric_link(0, 1, 0, sim::microseconds(300));
+  });
+  sched.schedule_at(sim::microseconds(200), [&] {
+    fabric.fail_fabric_link(0, 1, 0, sim::microseconds(300));
+  });
+
+  // t=350us: the first fail's handler has fired but was superseded — the
+  // uplink must still be in the forwarding state.
+  sched.run_until(sim::microseconds(350));
+  EXPECT_TRUE(fabric.leaf(0).uplink_live(1))
+      << "superseded fail handler must not withdraw";
+  EXPECT_EQ(fabric.spine(1).downlink_count(0), 1u);
+
+  // t=550us: the last call (fail at 200us, detected at 500us) wins.
+  sched.run_until(sim::microseconds(550));
+  EXPECT_FALSE(fabric.leaf(0).uplink_live(1));
+  EXPECT_FALSE(fabric.leaf(0).uplink_reaches(1, 1));
+  EXPECT_EQ(fabric.spine(1).downlink_count(0), 0u);
+
+  // A clean restore reinstates exactly one forwarding entry.
+  fabric.restore_fabric_link(0, 1, 0, sim::microseconds(100));
+  sched.run_until(sim::microseconds(700));
+  EXPECT_TRUE(fabric.leaf(0).uplink_live(1));
+  EXPECT_EQ(fabric.spine(1).downlink_count(0), 1u);
+}
+
+TEST(FailureRecovery, DoubleFailAndDoubleRestoreAreIdempotent) {
+  sim::Scheduler sched;
+  Fabric fabric(sched, topo2x2(), 1);
+  fabric.install_lb(core::conga());
+
+  // Two fails with overlapping windows: one withdrawal.
+  fabric.fail_fabric_link(0, 0, 0, sim::microseconds(100));
+  sched.schedule_at(sim::microseconds(50), [&] {
+    fabric.fail_fabric_link(0, 0, 0, sim::microseconds(100));
+  });
+  sched.run_until(sim::microseconds(300));
+  EXPECT_FALSE(fabric.leaf(0).uplink_live(0));
+  EXPECT_EQ(fabric.spine(0).downlink_count(0), 0u);
+
+  // Two restores with overlapping windows: exactly one forwarding entry —
+  // a duplicate would skew the spine's ECMP spread forever after.
+  fabric.restore_fabric_link(0, 0, 0, sim::microseconds(100));
+  sched.schedule_at(sim::microseconds(350), [&] {
+    fabric.restore_fabric_link(0, 0, 0, sim::microseconds(100));
+  });
+  sched.run_until(sim::microseconds(600));
+  EXPECT_TRUE(fabric.leaf(0).uplink_live(0));
+  EXPECT_EQ(fabric.spine(0).downlink_count(0), 1u);
+}
+
+TEST(FailureRecovery, FlowsSurviveAFlappingLink) {
+  // A link flapping faster than the detection window, driven by the fault
+  // injector, must not wedge transfers: the flap clears by 6 ms and every
+  // flow completes via the surviving uplink and RTO recovery.
+  sim::Scheduler sched;
+  Fabric fabric(sched, topo2x2(), 1);
+  fabric.install_lb(core::conga());
+
+  std::vector<std::unique_ptr<tcp::TcpFlow>> flows;
+  for (int i = 0; i < 4; ++i) {
+    FlowKey key;
+    key.src_host = i;
+    key.dst_host = 8 + i;
+    key.src_port = static_cast<std::uint16_t>(1000 + 16 * i);
+    key.dst_port = 80;
+    flows.push_back(std::make_unique<tcp::TcpFlow>(
+        sched, fabric.host(i), fabric.host(8 + i), key, 5'000'000, dc_tcp(),
+        tcp::FlowCompleteFn{}));
+    flows.back()->start();
+  }
+
+  fault::FaultPlan plan;
+  fault::LinkFlapSpec flap;
+  flap.leaf = 0;
+  flap.spine = 0;
+  flap.parallel = 0;
+  flap.mean_down_dwell = sim::microseconds(150);
+  flap.mean_up_dwell = sim::microseconds(300);
+  flap.detection_delay = sim::microseconds(250);  // slower than the dwells
+  flap.start = sim::milliseconds(1);
+  flap.stop = sim::milliseconds(6);
+  plan.add(flap);
+
+  fault::FaultInjector injector(fabric, 42);
+  injector.arm(plan);
+
+  sched.run();
+  EXPECT_GT(injector.transitions(), 4u) << "the link must actually flap";
+  EXPECT_TRUE(fabric.up_link(0, 0, 0)->is_up()) << "flap must end link-up";
+  EXPECT_TRUE(fabric.leaf(0).uplink_live(0)) << "forwarding state restored";
+  EXPECT_EQ(fabric.spine(0).downlink_count(0), 1u);
+  for (auto& f : flows) {
+    ASSERT_TRUE(f->complete());
+    EXPECT_EQ(f->sink().delivered(), 5'000'000u);
+  }
 }
 
 TEST(FailureRecovery, EcmpAlsoRespectsWithdrawal) {

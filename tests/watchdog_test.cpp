@@ -1,0 +1,153 @@
+// Liveness watchdog: silent non-progress becomes a signal. A stalled flow is
+// reported once per episode, healthy flows never are, and an idle watchdog
+// schedules nothing at all.
+#include "debug/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/telemetry.hpp"
+
+namespace conga::debug {
+namespace {
+
+/// A FlowHandle whose progress the test scripts directly.
+class FakeFlow final : public tcp::FlowHandle {
+ public:
+  FakeFlow() : FlowHandle(1'000'000, 0) {}
+  void start() override {}
+  std::uint64_t progress_bytes() const override { return bytes_; }
+  void set_progress(std::uint64_t b) { bytes_ = b; }
+
+ private:
+  std::uint64_t bytes_ = 0;
+};
+
+WatchdogConfig fast_config() {
+  WatchdogConfig cfg;
+  cfg.horizon = sim::milliseconds(1);
+  cfg.poll_interval = sim::microseconds(100);
+  return cfg;
+}
+
+TEST(Watchdog, ReportsAStalledFlowOncePerEpisode) {
+  sim::Scheduler sched;
+  LivenessWatchdog wd(sched, fast_config());
+  FakeFlow flow;
+  wd.watch(7, &flow);
+
+  sched.run_until(sim::milliseconds(5));
+  ASSERT_EQ(wd.stall_count(), 1u) << "one episode, one report";
+  EXPECT_EQ(wd.stalls()[0].tag, 7u);
+  EXPECT_EQ(wd.stalls()[0].progress_bytes, 0u);
+  EXPECT_EQ(wd.stalls()[0].last_progress, 0);
+  EXPECT_GE(wd.stalls()[0].detected, sim::milliseconds(1));
+  EXPECT_LE(wd.stalls()[0].detected,
+            sim::milliseconds(1) + sim::microseconds(200));
+  EXPECT_EQ(wd.currently_stalled(), 1u);
+  wd.unwatch(7);
+  EXPECT_EQ(wd.currently_stalled(), 0u);
+}
+
+TEST(Watchdog, HealthyFlowIsNeverReported) {
+  sim::Scheduler sched;
+  LivenessWatchdog wd(sched, fast_config());
+  FakeFlow flow;
+  wd.watch(1, &flow);
+
+  // Advance progress every 500 us — always inside the 1 ms horizon. (The
+  // run stops 400 us after the last update, before the gap looks stalled.)
+  for (int i = 1; i <= 10; ++i) {
+    sched.schedule_at(i * sim::microseconds(500),
+                      [&flow, i] { flow.set_progress(1000u * i); });
+  }
+  sched.run_until(sim::microseconds(5400));
+  EXPECT_EQ(wd.stall_count(), 0u);
+  EXPECT_EQ(wd.currently_stalled(), 0u);
+  wd.unwatch(1);
+}
+
+TEST(Watchdog, StallResumeStallYieldsTwoReports) {
+  sim::Scheduler sched;
+  LivenessWatchdog wd(sched, fast_config());
+  FakeFlow flow;
+  wd.watch(3, &flow);
+
+  // Stall until ~1 ms (first report), resume at 2 ms, stall again.
+  sched.schedule_at(sim::milliseconds(2), [&flow] { flow.set_progress(4096); });
+  sched.run_until(sim::microseconds(2500));
+  EXPECT_EQ(wd.stall_count(), 1u);
+  EXPECT_EQ(wd.currently_stalled(), 0u) << "progress ended the episode";
+
+  sched.run_until(sim::milliseconds(5));
+  ASSERT_EQ(wd.stall_count(), 2u) << "a second stall is a new episode";
+  EXPECT_EQ(wd.stalls()[1].tag, 3u);
+  EXPECT_EQ(wd.stalls()[1].progress_bytes, 4096u);
+  EXPECT_EQ(wd.currently_stalled(), 1u);
+  wd.unwatch(3);
+}
+
+TEST(Watchdog, IdleWatchdogSchedulesNothing) {
+  sim::Scheduler sched;
+  LivenessWatchdog wd(sched, fast_config());
+  sched.run();
+  EXPECT_EQ(sched.events_dispatched(), 0u) << "pay-for-what-you-use";
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Watchdog, PollingStopsWhenTheWatchSetEmpties) {
+  sim::Scheduler sched;
+  LivenessWatchdog wd(sched, fast_config());
+  FakeFlow flow;
+  wd.watch(1, &flow);
+  sched.schedule_at(sim::microseconds(250), [&wd] { wd.unwatch(1); });
+  // If polling did not stop, run() would never terminate.
+  sched.run();
+  EXPECT_EQ(wd.stall_count(), 0u);
+  EXPECT_LE(sched.events_dispatched(), 5u);
+
+  // Watching again resumes polling.
+  wd.watch(2, &flow);
+  sched.run_until(sched.now() + sim::milliseconds(3));
+  EXPECT_EQ(wd.stall_count(), 1u);
+  wd.unwatch(2);
+}
+
+TEST(Watchdog, FlowMonitorInterfaceDrivesWatchAndUnwatch) {
+  sim::Scheduler sched;
+  LivenessWatchdog wd(sched, fast_config());
+  FakeFlow flow;
+  tcp::FlowMonitor& mon = wd;
+  mon.on_flow_started(42, flow);
+  EXPECT_EQ(wd.watched(), 1u);
+  mon.on_flow_finished(42);
+  EXPECT_EQ(wd.watched(), 0u);
+  // Unwatching an unknown tag is harmless.
+  mon.on_flow_finished(42);
+  EXPECT_EQ(wd.watched(), 0u);
+}
+
+TEST(Watchdog, StallReportsEmitTelemetry) {
+  sim::Scheduler sched;
+  telemetry::TraceSink sink;
+  LivenessWatchdog wd(sched, fast_config());
+  wd.attach_telemetry(&sink);
+  FakeFlow flow;
+  wd.watch(9, &flow);
+  sched.run_until(sim::milliseconds(2));
+  ASSERT_EQ(wd.stall_count(), 1u);
+  wd.unwatch(9);
+
+  if (!telemetry::compiled_in()) return;
+  const telemetry::ComponentId comp = sink.find_component("watchdog");
+  ASSERT_NE(comp, telemetry::kInvalidComponent);
+  bool found = false;
+  for (const telemetry::Event& e : sink.events(comp)) {
+    if (e.type == telemetry::EventType::kFlowStalled && e.a == 9u) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace conga::debug

@@ -1,0 +1,356 @@
+// chaos_audit — randomized fault campaigns across every LB policy.
+//
+// For each campaign a fault plan is drawn (deterministically from the seed)
+// and executed against an identical scenario once per load-balancing policy
+// (ecmp, conga, conga-flow, spray, local). Each cell runs with the liveness
+// watchdog attached and is checked after the drain:
+//   * conservation — every link's packet ledger must balance: offered ==
+//     drops-by-cause + resident + in-flight + delivered;
+//   * liveness     — flows that stopped making forward progress are counted
+//     (stall reports; a stalled flow that never finishes also shows up as
+//     unfinished with bytes outstanding);
+//   * invariants   — any CONGA_CHECK_INVARIANTS violation aborts the audit
+//     loudly via the default handler.
+// Results land in a JSON survival report (--out). The report is a pure
+// function of the flags: rerunning with the same seed — at any --jobs count
+// — must produce a byte-identical file, which makes the audit itself
+// auditable.
+//
+// Flags:
+//   --seed N        base seed; campaign c uses seed+c       [default 1]
+//   --campaigns N   number of fault campaigns               [default 3]
+//   --jobs N        worker threads over campaign x policy   [default 1]
+//   --out FILE      survival report path                    [default chaos_survival.json]
+//   --profile NAME  random | gray                           [default random]
+//   --hosts N       hosts per leaf                          [default 4]
+//   --duration-ms N measurement window                      [default 5]
+//   --warmup-ms N   warmup before measurement               [default 1]
+//   --drain-ms N    max drain after arrivals stop           [default 1000]
+//   --load F        offered load                            [default 0.5]
+//
+// The "gray" profile draws gray-failure faults only (Bernoulli loss +
+// corruption on a few links), the scenario behind the CONGA-vs-ECMP
+// survival comparison; "random" mixes all five fault kinds.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "debug/invariants.hpp"
+#include "debug/watchdog.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "lb/factories.hpp"
+#include "runtime/parallel_runner.hpp"
+#include "stats/digest.hpp"
+#include "workload/traffic_gen.hpp"
+
+using namespace conga;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr,
+               "chaos_audit: %s\n(see the header of tools/chaos_audit.cpp "
+               "for flag documentation)\n",
+               msg);
+  std::exit(2);
+}
+
+constexpr const char* kPolicies[] = {"ecmp", "conga", "conga-flow", "spray",
+                                     "local"};
+constexpr std::size_t kNumPolicies = sizeof(kPolicies) / sizeof(kPolicies[0]);
+
+net::Fabric::LbFactory make_lb(const std::string& name) {
+  if (name == "ecmp") return lb::ecmp();
+  if (name == "conga") return core::conga();
+  if (name == "conga-flow") return core::conga_flow();
+  if (name == "spray") return lb::spray();
+  if (name == "local") return lb::local_aware();
+  usage(("unknown policy: " + name).c_str());
+}
+
+struct AuditConfig {
+  std::uint64_t seed = 1;
+  int campaigns = 3;
+  int jobs = 1;
+  std::string out = "chaos_survival.json";
+  std::string profile = "random";
+  int hosts = 4;
+  int duration_ms = 5;
+  int warmup_ms = 1;
+  // Covers several backed-off RTOs of the default transport (min_rto 200 ms),
+  // so "unfinished" means wedged, not merely waiting out a timer.
+  int drain_ms = 1000;
+  double load = 0.5;
+};
+
+struct CellResult {
+  std::uint64_t fct_digest = 0;
+  std::uint64_t trace_digest = 0;
+  std::uint64_t flows = 0;          ///< measured flows completed
+  std::uint64_t unfinished = 0;     ///< measured flows never finished
+  std::uint64_t bytes_outstanding = 0;
+  std::uint64_t stalls = 0;         ///< watchdog stall episodes
+  std::uint64_t transitions = 0;    ///< fault transitions applied
+  std::uint64_t drops_queue = 0;
+  std::uint64_t drops_admin = 0;
+  std::uint64_t drops_gray = 0;
+  std::uint64_t drops_corrupt = 0;
+  std::uint64_t drops_no_route = 0;  ///< switch had no live port toward dst
+  bool drained = false;
+  bool conservation_ok = true;
+  bool survived = false;  ///< drained with a balanced packet ledger
+};
+
+fault::FaultPlan make_plan(const AuditConfig& cfg,
+                           const net::TopologyConfig& topo,
+                           std::uint64_t plan_seed, sim::TimeNs horizon) {
+  if (cfg.profile == "gray") {
+    // Gray-only campaign: loss + corruption on a few links, the control
+    // plane never told. Congestion-aware schemes can at best route around
+    // the *retransmission* load; the survival comparison (conga vs ecmp
+    // completed flows) is the Fig-16-style robustness headline.
+    sim::Rng rng(plan_seed);
+    fault::FaultPlan plan;
+    const int n = static_cast<int>(rng.uniform_int(2, 3));
+    for (int i = 0; i < n; ++i) {
+      fault::GrayFailureSpec s;
+      s.leaf = static_cast<int>(rng.uniform_int(0, topo.num_leaves - 1));
+      s.spine = static_cast<int>(rng.uniform_int(0, topo.num_spines - 1));
+      s.parallel =
+          static_cast<int>(rng.uniform_int(0, topo.links_per_spine - 1));
+      s.drop_prob = rng.uniform(0.005, 0.03);
+      s.corrupt_prob = rng.uniform(0.0, 0.01);
+      s.start = 0;
+      s.stop = horizon;
+      plan.add(s);
+    }
+    return plan;
+  }
+  fault::RandomPlanConfig rc;
+  rc.horizon = horizon;
+  return fault::make_random_plan(topo, plan_seed, rc);
+}
+
+CellResult run_cell(const AuditConfig& cfg, const std::string& policy,
+                    std::uint64_t plan_seed) {
+  const sim::TimeNs warmup = sim::milliseconds(cfg.warmup_ms);
+  const sim::TimeNs measure = sim::milliseconds(cfg.duration_ms);
+  const sim::TimeNs stop = warmup + measure;
+
+  net::TopologyConfig topo = net::testbed_baseline();
+  topo.hosts_per_leaf = cfg.hosts;
+  const fault::FaultPlan plan = make_plan(cfg, topo, plan_seed, stop);
+
+  sim::Scheduler sched;
+  stats::TraceDigest trace;
+  sched.set_trace_hook([&trace](sim::TimeNs t, sim::EventId id) {
+    trace.add(static_cast<std::uint64_t>(t));
+    trace.add(id);
+  });
+
+  net::Fabric fabric(sched, topo, cfg.seed);
+  fabric.install_lb(make_lb(policy));
+
+  telemetry::TraceSinkConfig sink_cfg;
+  sink_cfg.ring_capacity = 64;
+  telemetry::TraceSink sink(sink_cfg);
+  fabric.attach_telemetry(&sink);
+
+  workload::TrafficGenConfig gc;
+  gc.load = cfg.load;
+  gc.stop = stop;
+  gc.measure_start = warmup;
+  gc.measure_stop = stop;
+  gc.seed = cfg.seed * 31 + 7;
+
+  workload::TrafficGenerator gen(fabric, tcp::make_tcp_flow_factory({}),
+                                 workload::enterprise(), gc);
+  debug::WatchdogConfig wd_cfg;
+  wd_cfg.horizon = sim::milliseconds(20);
+  wd_cfg.poll_interval = sim::milliseconds(2);
+  debug::LivenessWatchdog watchdog(sched, wd_cfg);
+  watchdog.attach_telemetry(&sink);
+  gen.set_monitor(&watchdog);
+  gen.start();
+
+  fault::FaultInjector injector(fabric, plan_seed);
+  injector.arm(plan);
+
+  CellResult r;
+  r.drained =
+      workload::run_with_drain(sched, gen, stop, sim::milliseconds(cfg.drain_ms));
+  if (!r.drained) gen.account_unfinished();
+
+  r.fct_digest = stats::fct_digest(gen.collector());
+  r.trace_digest = trace.value();
+  r.flows = gen.collector().count();
+  r.unfinished = gen.collector().unfinished_count();
+  r.bytes_outstanding = gen.collector().bytes_outstanding();
+  r.stalls = watchdog.stall_count();
+  r.transitions = injector.transitions();
+
+  auto check_link = [&r](const net::Link* link) {
+    r.drops_queue += link->queue().stats().dropped_pkts;
+    r.drops_admin += link->drop_stats().admin_down_pkts;
+    r.drops_gray += link->drop_stats().gray_pkts;
+    r.drops_corrupt += link->drop_stats().corrupt_pkts;
+    if (!link->conserves_packets()) r.conservation_ok = false;
+  };
+  for (const net::Link* link : fabric.fabric_links()) check_link(link);
+  for (net::HostId h = 0; h < fabric.num_hosts(); ++h) {
+    check_link(fabric.host_to_leaf(h));
+    check_link(fabric.leaf_to_host(h));
+  }
+  for (int l = 0; l < fabric.num_leaves(); ++l) {
+    r.drops_no_route += fabric.leaf(l).dropped_no_route();
+  }
+  for (int s = 0; s < fabric.num_spines(); ++s) {
+    r.drops_no_route += fabric.spine(s).dropped_no_route();
+  }
+  r.survived = r.drained && r.conservation_ok;
+  return r;
+}
+
+void write_report(std::FILE* f, const AuditConfig& cfg,
+                  const std::vector<CellResult>& cells) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"seed\": %" PRIu64 ",\n", cfg.seed);
+  std::fprintf(f, "  \"campaigns\": %d,\n", cfg.campaigns);
+  std::fprintf(f, "  \"profile\": \"%s\",\n", cfg.profile.c_str());
+  std::fprintf(f, "  \"load\": %.3f,\n", cfg.load);
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = cells[i];
+    const int campaign = static_cast<int>(i / kNumPolicies);
+    const char* policy = kPolicies[i % kNumPolicies];
+    std::fprintf(
+        f,
+        "    {\"campaign\": %d, \"policy\": \"%s\", \"survived\": %s, "
+        "\"drained\": %s, \"conservation_ok\": %s, \"flows\": %" PRIu64
+        ", \"unfinished\": %" PRIu64 ", \"bytes_outstanding\": %" PRIu64
+        ", \"stalls\": %" PRIu64 ", \"fault_transitions\": %" PRIu64
+        ", \"drops\": {\"queue\": %" PRIu64 ", \"admin_down\": %" PRIu64
+        ", \"gray\": %" PRIu64 ", \"corrupt\": %" PRIu64
+        ", \"no_route\": %" PRIu64
+        "}, \"fct_digest\": \"%016" PRIx64 "\", \"trace_digest\": "
+        "\"%016" PRIx64 "\"}%s\n",
+        campaign, policy, r.survived ? "true" : "false",
+        r.drained ? "true" : "false", r.conservation_ok ? "true" : "false",
+        r.flows, r.unfinished, r.bytes_outstanding, r.stalls, r.transitions,
+        r.drops_queue, r.drops_admin, r.drops_gray, r.drops_corrupt,
+        r.drops_no_route, r.fct_digest, r.trace_digest,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"summary\": [\n");
+  for (std::size_t p = 0; p < kNumPolicies; ++p) {
+    std::uint64_t survived = 0, flows = 0, unfinished = 0, stalls = 0;
+    for (std::size_t i = p; i < cells.size(); i += kNumPolicies) {
+      survived += cells[i].survived ? 1 : 0;
+      flows += cells[i].flows;
+      unfinished += cells[i].unfinished;
+      stalls += cells[i].stalls;
+    }
+    std::fprintf(f,
+                 "    {\"policy\": \"%s\", \"cells\": %d, \"survived\": "
+                 "%" PRIu64 ", \"flows_completed\": %" PRIu64
+                 ", \"unfinished\": %" PRIu64 ", \"stalls\": %" PRIu64 "}%s\n",
+                 kPolicies[p], cfg.campaigns, survived, flows, unfinished,
+                 stalls, p + 1 < kNumPolicies ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  bool ok = true;
+  for (const CellResult& r : cells) ok = ok && r.conservation_ok;
+  std::fprintf(f, "  \"invariant_violations\": %" PRIu64 ",\n",
+               debug::violation_count());
+  std::fprintf(f, "  \"conservation_ok\": %s\n", ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AuditConfig cfg;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("flag needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--campaigns") {
+      cfg.campaigns = std::atoi(need(i));
+    } else if (a == "--jobs") {
+      cfg.jobs = std::atoi(need(i));
+    } else if (a == "--out") {
+      cfg.out = need(i);
+    } else if (a == "--profile") {
+      cfg.profile = need(i);
+    } else if (a == "--hosts") {
+      cfg.hosts = std::atoi(need(i));
+    } else if (a == "--duration-ms") {
+      cfg.duration_ms = std::atoi(need(i));
+    } else if (a == "--warmup-ms") {
+      cfg.warmup_ms = std::atoi(need(i));
+    } else if (a == "--drain-ms") {
+      cfg.drain_ms = std::atoi(need(i));
+    } else if (a == "--load") {
+      cfg.load = std::atof(need(i));
+    } else if (a == "--help" || a == "-h") {
+      usage("usage");
+    } else {
+      usage(("unknown flag: " + a).c_str());
+    }
+  }
+  if (cfg.campaigns < 1) usage("--campaigns must be >= 1");
+  if (cfg.profile != "random" && cfg.profile != "gray") {
+    usage(("unknown --profile: " + cfg.profile).c_str());
+  }
+
+  const std::size_t n_cells =
+      static_cast<std::size_t>(cfg.campaigns) * kNumPolicies;
+  std::printf("chaos_audit: %d campaign(s) x %zu policies, profile=%s, "
+              "seed=%" PRIu64 ", jobs=%d\n",
+              cfg.campaigns, kNumPolicies, cfg.profile.c_str(), cfg.seed,
+              cfg.jobs);
+
+  const std::vector<CellResult> cells =
+      runtime::parallel_map<CellResult>(n_cells, cfg.jobs, [&](std::size_t i) {
+        const std::uint64_t plan_seed = cfg.seed + i / kNumPolicies;
+        return run_cell(cfg, kPolicies[i % kNumPolicies], plan_seed);
+      });
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = cells[i];
+    std::printf("  campaign %zu %-10s %s flows=%" PRIu64 " unfinished=%" PRIu64
+                " stalls=%" PRIu64 " transitions=%" PRIu64
+                " drops(q/adm/gray/corr)=%" PRIu64 "/%" PRIu64 "/%" PRIu64
+                "/%" PRIu64 "\n",
+                i / kNumPolicies, kPolicies[i % kNumPolicies],
+                r.survived ? "SURVIVED" : (r.conservation_ok ? "unfinished "
+                                                             : "LEAK      "),
+                r.flows, r.unfinished, r.stalls, r.transitions, r.drops_queue,
+                r.drops_admin, r.drops_gray, r.drops_corrupt);
+  }
+
+  std::FILE* f = std::fopen(cfg.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "chaos_audit: cannot write %s\n", cfg.out.c_str());
+    return 2;
+  }
+  write_report(f, cfg, cells);
+  std::fclose(f);
+  std::printf("survival report: %s\n", cfg.out.c_str());
+
+  bool ok = debug::violation_count() == 0;
+  for (const CellResult& r : cells) ok = ok && r.conservation_ok;
+  std::printf("%s\n", ok ? "CHAOS AUDIT PASSED: packet ledgers balanced, no "
+                           "invariant violations"
+                         : "CHAOS AUDIT FAILED: conservation or invariant "
+                           "breach");
+  return ok ? 0 : 1;
+}

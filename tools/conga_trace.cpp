@@ -13,7 +13,11 @@
 //     --stop-ms N       run length                   [default 80]
 //     --ring N          per-component ring capacity  [default 8192]
 //     --cats a,b,...    category mask (queue,link,dre,flowlet,conga_table,
-//                       tcp,flow,probe)              [default: all]
+//                       tcp,flow,probe,fault)        [default: all]
+//     --fault-seed N    additionally arm a randomized fault campaign
+//                       (src/fault/ make_random_plan, horizon = stop) so the
+//                       exported trace carries fault transitions and
+//                       cause-tagged drops            [default: 0 = off]
 //
 //   summary FILE        per-category / per-type event counts, component and
 //                       time-range overview of a JSONL trace.
@@ -36,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "lb/factories.hpp"
 #include "net/fabric.hpp"
 #include "stats/summary.hpp"
@@ -104,6 +109,7 @@ int cmd_record(int argc, char** argv) {
   int stop_ms = 80;
   std::size_t ring = 8192;
   std::uint32_t mask = telemetry::kAllCategories;
+  std::uint64_t fault_seed = 0;
 
   auto need = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage("flag needs a value");
@@ -121,6 +127,8 @@ int cmd_record(int argc, char** argv) {
       stop_ms = std::atoi(need(i));
     } else if (a == "--ring") {
       ring = static_cast<std::size_t>(std::atoll(need(i)));
+    } else if (a == "--fault-seed") {
+      fault_seed = static_cast<std::uint64_t>(std::atoll(need(i)));
     } else if (a == "--cats") {
       mask = 0;
       std::string cats = need(i);
@@ -175,6 +183,13 @@ int cmd_record(int argc, char** argv) {
   workload::TrafficGenerator gen(fabric, tcp::make_tcp_flow_factory(t),
                                  workload::data_mining(), gc);
   gen.start();
+
+  fault::FaultInjector injector(fabric, fault_seed);
+  if (fault_seed != 0) {
+    fault::RandomPlanConfig rc;
+    rc.horizon = gc.stop;
+    injector.arm(fault::make_random_plan(topo, fault_seed, rc));
+  }
 
   const int hotspot = sink.probes().find("down:l1s1p0/queue_bytes");
   telemetry::PeriodicSampler sampler(sched, sink, sim::microseconds(100),
