@@ -1,0 +1,222 @@
+// Competitor load-balancer comparison (extension; companion to Fig 9/11).
+//
+// Sweeps every registered policy — ECMP, packet spray, local-only flowlets,
+// LetFlow, DRILL, Presto, HULA-style probes, CONGA-Flow, CONGA — over the
+// enterprise workload at 10–90% load, on the symmetric baseline testbed and
+// on an asymmetric variant with one uplink degraded to 10% capacity (the
+// Fig 2 regime where congestion-oblivious hashing collapses). Alongside the
+// FCT panels it reports what each scheme pays: receiver-side reordering
+// (out-of-order segments, worst reorder distance) and probe-plane overhead
+// (control packets injected into the fabric).
+//
+// The --out report is byte-identical across reruns and --jobs values: cells
+// are independent simulations committed by index, and the file carries no
+// timestamps or host state.
+//
+// Flags: --full (paper scale), --jobs N, --out FILE (JSON report),
+//        --load N (restrict to one load point — the CI smoke lane).
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "lb_ext/policies.hpp"
+#include "runtime/parallel_runner.hpp"
+#include "tools/bench_json.hpp"
+#include "workload/experiment.hpp"
+#include "workload/flow_size_dist.hpp"
+
+using namespace conga;
+
+namespace {
+
+struct Case {
+  const char* name;
+  net::TopologyConfig topo;
+};
+
+constexpr const char* kPolicies[] = {"ecmp",   "spray", "local",
+                                     "letflow", "drill", "presto",
+                                     "hula",   "conga-flow", "conga"};
+constexpr std::size_t kNumPolicies = sizeof(kPolicies) / sizeof(kPolicies[0]);
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::full_mode(argc, argv);
+  const int jobs = bench::jobs_mode(argc, argv);
+  std::string out_path;
+  int only_load = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+      only_load = std::atoi(argv[++i]);
+      if (only_load <= 0 || only_load > 100) {
+        std::fprintf(stderr, "ext_lb_comparison: bad --load %s\n", argv[i]);
+        return 2;
+      }
+    }
+  }
+  bench::print_header(
+      "Extension — competitor LB suite (LetFlow/DRILL/Presto/HULA vs CONGA)",
+      full, jobs);
+
+  net::TopologyConfig base = net::testbed_baseline();
+  if (!full) base.hosts_per_leaf = 16;  // scaled: 32 hosts total
+  net::TopologyConfig degraded = base;
+  // One Leaf1<->Spine1 link at 10% capacity: asymmetry that hashing and
+  // static weights cannot see but congestion-aware schemes route around.
+  degraded.overrides.push_back(
+      net::LinkOverride{/*leaf=*/1, /*spine=*/1, /*parallel=*/0,
+                        /*rate_factor=*/0.1});
+  const std::vector<Case> cases = {{"symmetric", base},
+                                   {"degraded", degraded}};
+
+  std::vector<int> loads =
+      full ? std::vector<int>{10, 20, 30, 40, 50, 60, 70, 80, 90}
+           : std::vector<int>{10, 50, 90};
+  if (only_load > 0) loads = {only_load};
+
+  tcp::TcpConfig tcp_cfg;
+  tcp_cfg.min_rto = sim::milliseconds(10);  // DC-granularity timers (Fig 9)
+
+  const std::size_t n_loads = loads.size();
+  const std::size_t cells_per_case = kNumPolicies * n_loads;
+  std::mutex progress_mu;
+  const std::vector<workload::ExperimentResult> cells =
+      runtime::parallel_map<workload::ExperimentResult>(
+          cases.size() * cells_per_case, jobs, [&](std::size_t i) {
+            const Case& cs = cases[i / cells_per_case];
+            const std::size_t p = (i % cells_per_case) / n_loads;
+            const int load = loads[i % n_loads];
+            const lb_ext::PolicyInfo* info = lb_ext::find_policy(kPolicies[p]);
+            workload::ExperimentConfig cfg;
+            cfg.topo = cs.topo;
+            cfg.dist = workload::enterprise();
+            cfg.load = load / 100.0;
+            cfg.transport = tcp::make_tcp_flow_factory(tcp_cfg);
+            cfg.lb = lb_ext::make_policy(kPolicies[p]);
+            if (info != nullptr && info->spine_drill) {
+              cfg.fabric_hook = [](net::Fabric& f) { f.set_spine_drill(true); };
+            }
+            cfg.warmup = sim::milliseconds(10);
+            cfg.measure = full ? sim::milliseconds(200) : sim::milliseconds(50);
+            cfg.max_drain = full ? sim::seconds(3.0) : sim::seconds(1.5);
+            workload::ExperimentResult r = workload::run_fct_experiment(cfg);
+            {
+              const std::lock_guard<std::mutex> lock(progress_mu);
+              std::fprintf(stderr,
+                           "  [%s/%s @ %d%%: %zu flows, %.0f%% completed]\n",
+                           cs.name, kPolicies[p], load, r.flows,
+                           r.completed_fraction * 100);
+            }
+            return r;
+          });
+
+  auto cell = [&](std::size_t c, std::size_t p,
+                  std::size_t l) -> const workload::ExperimentResult& {
+    return cells[c * cells_per_case + p * n_loads + l];
+  };
+
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    std::printf("\n=== case: %s ===\n", cases[c].name);
+
+    std::printf("\n(a) overall average FCT, normalised to optimal\n");
+    std::printf("%-12s", "load(%)");
+    for (int load : loads) std::printf("%10d", load);
+    std::printf("\n");
+    for (std::size_t p = 0; p < kNumPolicies; ++p) {
+      std::printf("%-12s", kPolicies[p]);
+      for (std::size_t l = 0; l < n_loads; ++l) {
+        std::printf("%10.2f", cell(c, p, l).avg_norm_fct);
+      }
+      std::printf("\n");
+    }
+
+    std::printf("\n(b) reordering ledger at the highest load "
+                "(segments / worst distance / flows hit)\n");
+    for (std::size_t p = 0; p < kNumPolicies; ++p) {
+      const workload::ExperimentResult& r = cell(c, p, n_loads - 1);
+      std::printf("%-12s%12" PRIu64 "%12" PRIu64 "%12" PRIu64 "\n",
+                  kPolicies[p], r.reorder_segments, r.reorder_max_distance,
+                  r.reordered_flows);
+    }
+
+    std::printf("\n(c) probe-plane overhead at the highest load "
+                "(probes injected / consumed)\n");
+    for (std::size_t p = 0; p < kNumPolicies; ++p) {
+      const workload::ExperimentResult& r = cell(c, p, n_loads - 1);
+      std::printf("%-12s%12" PRIu64 "%12" PRIu64 "\n", kPolicies[p],
+                  r.probes_sent, r.probes_received);
+    }
+  }
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ext_lb_comparison: cannot open %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    tools::JsonWriter w(f);
+    w.begin_object();
+    w.kv("schema", "conga-ext-lb-comparison-v1");
+    w.kv("mode", full ? "full" : "scaled");
+    w.key("loads_pct");
+    w.begin_array();
+    for (int load : loads) w.value(load);
+    w.end_array();
+    w.key("policies");
+    w.begin_array();
+    for (std::size_t p = 0; p < kNumPolicies; ++p) w.value(kPolicies[p]);
+    w.end_array();
+    w.key("cases");
+    w.begin_array();
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+      w.begin_object();
+      w.kv("name", cases[c].name);
+      w.key("cells");
+      w.begin_array();
+      for (std::size_t p = 0; p < kNumPolicies; ++p) {
+        for (std::size_t l = 0; l < n_loads; ++l) {
+          const workload::ExperimentResult& r = cell(c, p, l);
+          w.begin_object();
+          w.kv("policy", kPolicies[p]);
+          w.kv("load_pct", loads[l]);
+          w.kv("avg_norm_fct", r.avg_norm_fct);
+          w.kv("median_norm_fct", r.median_norm_fct);
+          w.kv("p99_norm_fct", r.p99_norm_fct);
+          w.kv("avg_fct_small", r.avg_fct_small);
+          w.kv("avg_fct_large", r.avg_fct_large);
+          w.kv("flows", static_cast<std::uint64_t>(r.flows));
+          w.kv("completed_fraction", r.completed_fraction);
+          w.kv("fct_digest", hex64(r.fct_digest));
+          w.kv("reorder_segments", r.reorder_segments);
+          w.kv("reorder_max_distance", r.reorder_max_distance);
+          w.kv("reordered_flows", r.reordered_flows);
+          w.kv("probes_sent", r.probes_sent);
+          w.kv("probes_received", r.probes_received);
+          w.end_object();
+        }
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish();
+    std::fclose(f);
+    std::fprintf(stderr, "ext_lb_comparison: wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -18,6 +18,10 @@
 #include "lb/local_aware_lb.hpp"
 #include "lb/spray_lb.hpp"
 #include "lb/weighted_lb.hpp"
+#include "lb_ext/drill_lb.hpp"
+#include "lb_ext/hula_lb.hpp"
+#include "lb_ext/letflow_lb.hpp"
+#include "lb_ext/presto_lb.hpp"
 #include "net/fabric.hpp"
 
 namespace conga::lb {
@@ -80,3 +84,40 @@ inline net::Fabric::LbFactory conga_flow(
 }
 
 }  // namespace conga::core
+
+// Competitor schemes (src/lb_ext/). Name-keyed lookup over all of these
+// lives in lb_ext/policies.hpp; use install_policy() instead of install_lb()
+// for schemes that also need a spine-side mode (DRILL).
+namespace conga::lb_ext {
+
+inline net::Fabric::LbFactory letflow(LetFlowConfig cfg = {}) {
+  return [cfg](net::LeafSwitch& leaf, const net::TopologyConfig&,
+               std::uint64_t) -> std::unique_ptr<lb::LoadBalancer> {
+    return std::make_unique<LetFlowLb>(leaf, cfg);
+  };
+}
+
+/// Leaf half only — pair with Fabric::set_spine_drill(true) (or use
+/// install_policy("drill")) for the full scheme.
+inline net::Fabric::LbFactory drill(DrillConfig cfg = {}) {
+  return [cfg](net::LeafSwitch& leaf, const net::TopologyConfig& topo,
+               std::uint64_t) -> std::unique_ptr<lb::LoadBalancer> {
+    return std::make_unique<DrillLb>(leaf, topo.num_leaves, cfg);
+  };
+}
+
+inline net::Fabric::LbFactory presto(PrestoConfig cfg = {}) {
+  return [cfg](net::LeafSwitch& leaf, const net::TopologyConfig&,
+               std::uint64_t) -> std::unique_ptr<lb::LoadBalancer> {
+    return std::make_unique<PrestoLb>(leaf, cfg);
+  };
+}
+
+inline net::Fabric::LbFactory hula(HulaConfig cfg = {}) {
+  return [cfg](net::LeafSwitch& leaf, const net::TopologyConfig& topo,
+               std::uint64_t) -> std::unique_ptr<lb::LoadBalancer> {
+    return std::make_unique<HulaLb>(leaf, topo.num_leaves, cfg);
+  };
+}
+
+}  // namespace conga::lb_ext

@@ -45,6 +45,12 @@ class LoadBalancer {
   virtual void annotate(net::Packet& /*pkt*/, int /*uplink*/,
                         sim::TimeNs /*now*/) {}
 
+  /// Probe-plane hook: a probe packet (pkt->probe.kind != 0) addressed to
+  /// this leaf. The balancer takes ownership; schemes without a probe plane
+  /// let it drop here. Never invoked for data packets, so policies that run
+  /// no probe plane pay nothing.
+  virtual void on_probe_packet(net::PacketPtr /*pkt*/, sim::TimeNs /*now*/) {}
+
   /// Telemetry hook: route the balancer's internal events (flowlet table,
   /// congestion tables, ...) to `sink`. Stateless schemes ignore it.
   virtual void attach_telemetry(telemetry::TraceSink* /*sink*/) {}

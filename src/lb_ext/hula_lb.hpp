@@ -1,0 +1,53 @@
+// HULA-style probe-informed flowlet routing (Katta et al., SOSR'16).
+// Forwarding state is learned entirely from the probe plane: a ProbeAgent
+// keeps a per-(destination leaf, uplink) best-path utilization table fresh,
+// and each new flowlet takes the uplink with the lowest learned metric.
+// Unlike CONGA there is no piggybacked feedback and no per-packet CE use by
+// the decision — congestion information travels only in probes, so its
+// freshness is bounded by the probe period and its cost is real probe
+// packets on real links.
+//
+// Divergences from the paper are documented in DESIGN.md §12 (request/reply
+// echo instead of switch-replicated one-way probes; leaf-resident tables).
+#pragma once
+
+#include "core/flowlet_table.hpp"
+#include "lb/load_balancer.hpp"
+#include "net/leaf_switch.hpp"
+#include "probe/probe_plane.hpp"
+
+namespace conga::lb_ext {
+
+struct HulaConfig {
+  probe::ProbeConfig probe;           ///< probe-plane cadence and aging
+  core::FlowletTableConfig flowlet;   ///< HULA keeps its own gap (below)
+
+  /// HULA's evaluation uses a much finer flowlet gap than CONGA (it leans
+  /// on the probe plane to keep short flowlets well-routed); 100us here,
+  /// owned per-policy so CONGA's Tfl never leaks in.
+  HulaConfig() { flowlet.gap = sim::microseconds(100); }
+};
+
+class HulaLb final : public lb::LoadBalancer {
+ public:
+  HulaLb(net::LeafSwitch& leaf, int num_leaves, const HulaConfig& cfg = {});
+
+  int select_uplink(const net::Packet& pkt, net::LeafId dst_leaf,
+                    sim::TimeNs now) override;
+  void on_probe_packet(net::PacketPtr pkt, sim::TimeNs now) override;
+  void attach_telemetry(telemetry::TraceSink* sink) override;
+  std::string name() const override { return "HULA"; }
+
+  /// The probe-table decision in isolation (no flowlet cache); for tests.
+  int decide(const net::FlowKey& key, net::LeafId dst_leaf, sim::TimeNs now);
+
+  probe::ProbeAgent& agent() { return agent_; }
+  core::FlowletTable& flowlets() { return flowlets_; }
+
+ private:
+  net::LeafSwitch& leaf_;
+  core::FlowletTable flowlets_;
+  probe::ProbeAgent agent_;
+};
+
+}  // namespace conga::lb_ext

@@ -1,0 +1,16 @@
+#include "lb_ext/letflow_lb.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+namespace conga::lb_ext {
+
+void LetFlowLb::attach_telemetry(telemetry::TraceSink* sink) {
+  if (sink == nullptr) {
+    flowlets_.set_telemetry(nullptr, 0);
+    return;
+  }
+  flowlets_.set_telemetry(sink,
+                          sink->intern_component(leaf_.name() + "/flowlets"));
+}
+
+}  // namespace conga::lb_ext

@@ -1,0 +1,60 @@
+// LetFlow (Vanini et al., NSDI'17): flowlet switching with *no* congestion
+// input — on flowlet expiry the next uplink is picked uniformly at random.
+// The insight reproduced here is that flowlet gaps themselves are elastic:
+// flows on congested paths naturally fragment into more flowlets and so get
+// re-rolled more often, which passively shifts load away from congestion.
+// Congestion awareness is exactly what separates CONGA from this baseline.
+#pragma once
+
+#include "core/flowlet_table.hpp"
+#include "lb/load_balancer.hpp"
+#include "net/leaf_switch.hpp"
+
+namespace conga::lb_ext {
+
+struct LetFlowConfig {
+  /// LetFlow's own flowlet table. The gap is set explicitly here rather
+  /// than inherited from FlowletTableConfig's default, so retuning CONGA's
+  /// Tfl can never silently retune LetFlow (per-policy gap ownership).
+  core::FlowletTableConfig flowlet;
+
+  LetFlowConfig() { flowlet.gap = sim::microseconds(500); }
+};
+
+class LetFlowLb final : public lb::LoadBalancer {
+ public:
+  LetFlowLb(net::LeafSwitch& leaf, const LetFlowConfig& cfg)
+      : leaf_(leaf), flowlets_(cfg.flowlet) {
+    flowlets_.set_label(leaf.name() + "/flowlets");
+  }
+
+  int select_uplink(const net::Packet& pkt, net::LeafId dst_leaf,
+                    sim::TimeNs now) override {
+    const net::FlowKey key = pkt.wire_key();
+    const int cached = flowlets_.lookup(key, now);
+    if (cached >= 0 && cached < static_cast<int>(leaf_.uplinks().size()) &&
+        leaf_.uplink_reaches(cached, dst_leaf)) {
+      return cached;
+    }
+    int viable[16];
+    int n = 0;
+    for (int i = 0; i < static_cast<int>(leaf_.uplinks().size()); ++i) {
+      if (leaf_.uplink_reaches(i, dst_leaf)) viable[n++] = i;
+    }
+    const int pick = viable[leaf_.rng().index(static_cast<std::size_t>(n))];
+    flowlets_.install(key, pick, now);
+    return pick;
+  }
+
+  void attach_telemetry(telemetry::TraceSink* sink) override;
+
+  std::string name() const override { return "LetFlow"; }
+
+  core::FlowletTable& flowlets() { return flowlets_; }
+
+ private:
+  net::LeafSwitch& leaf_;
+  core::FlowletTable flowlets_;
+};
+
+}  // namespace conga::lb_ext

@@ -291,6 +291,20 @@ void Fabric::install_lb(const LbFactory& factory) {
   }
 }
 
+void Fabric::set_spine_drill(bool enabled) {
+  for (auto& spine : spines_) {
+    if (enabled) {
+      // Class 6 in the keyed-stream namespace (1 leaves, 2 spines, 3 LBs,
+      // 4 flap, 5 gray). stream_seed() is a pure derivation, so flipping the
+      // mode never advances rng_ and cannot perturb other streams.
+      spine->enable_drill(rng_.stream_seed(
+          (6ULL << 56) | static_cast<std::uint64_t>(spine->id())));
+    } else {
+      spine->disable_drill();
+    }
+  }
+}
+
 void Fabric::attach_telemetry(telemetry::TraceSink* sink) {
   tele_ = sink;
   // TCP senders and other Scheduler& holders reach the sink ambiently.

@@ -38,6 +38,12 @@ class Fabric {
   /// Installs a load balancer on every leaf.
   void install_lb(const LbFactory& factory);
 
+  /// Switches every spine between ECMP (default) and DRILL forwarding for
+  /// the spine -> leaf stage (power-of-two-choices over parallel downlink
+  /// queue depths; see SpineSwitch::enable_drill). The policy registry
+  /// (src/lb_ext/policies.hpp) flips this when installing "drill".
+  void set_spine_drill(bool enabled);
+
   /// Routes the whole fabric's telemetry to `sink` (nullptr detaches):
   /// every link (queue + DRE included), every installed load balancer, and
   /// the scheduler's ambient pointer (which TCP senders read). Also

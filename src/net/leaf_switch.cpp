@@ -75,7 +75,31 @@ void LeafSwitch::send_to_fabric(PacketPtr pkt, LeafId dst_leaf) {
   uplinks_[static_cast<std::size_t>(up)].link->send(std::move(pkt));
 }
 
+void LeafSwitch::send_probe(PacketPtr pkt, int uplink, LeafId dst_leaf) {
+  assert(pkt->probe.kind != 0 && "send_probe is for probe-plane packets");
+  assert(uplink >= 0 && uplink < static_cast<int>(uplinks_.size()));
+  pkt->overlay.valid = true;
+  pkt->overlay.src_leaf = id_;
+  pkt->overlay.dst_leaf = dst_leaf;
+  pkt->overlay.ce = 0;
+  pkt->overlay.fb_valid = false;
+  pkt->overlay.lbtag = static_cast<std::uint8_t>(uplink);
+  pkt->size_bytes += kOverlayHeaderBytes;
+  ++probes_to_fabric_;
+  uplinks_[static_cast<std::size_t>(uplink)].link->send(std::move(pkt));
+}
+
 void LeafSwitch::receive(PacketPtr pkt, int /*in_port*/) {
+  if (pkt->overlay.valid && pkt->probe.kind != 0) {
+    // Probe-plane packet: it terminates here — handed to the balancer's
+    // probe hook, never decapsulated or forwarded to a host. A policy
+    // without a probe plane simply lets it drop.
+    assert(pkt->overlay.dst_leaf == id_);
+    ++probes_from_fabric_;
+    if (lb_) lb_->on_probe_packet(std::move(pkt), sched_.now());
+    return;
+  }
+
   if (pkt->overlay.valid) {
     // Arrived from the fabric: harvest CONGA state, decapsulate, deliver.
     assert(pkt->overlay.dst_leaf == id_);

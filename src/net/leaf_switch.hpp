@@ -88,6 +88,20 @@ class LeafSwitch : public Node {
   /// (every candidate withdrawn — a switch-reboot fault, not overload).
   std::uint64_t dropped_no_route() const { return dropped_no_route_; }
 
+  /// Injects a probe-plane packet (pkt->probe.kind != 0) on `uplink` toward
+  /// `dst_leaf`, encapsulating it like data traffic. The probe plane picks
+  /// its own uplink, so the load balancer is bypassed entirely — its flowlet
+  /// and queue state must not be perturbed by control traffic. The packet is
+  /// charged to the chosen uplink's queue/DRE like any other, so probe
+  /// overhead shows up as real bytes on links.
+  void send_probe(PacketPtr pkt, int uplink, LeafId dst_leaf);
+
+  /// Probe-plane packets injected by / terminated at this leaf. Counted
+  /// separately from packets_to/from_fabric so data-plane accounting is
+  /// unchanged when a probe-based policy runs.
+  std::uint64_t probes_to_fabric() const { return probes_to_fabric_; }
+  std::uint64_t probes_from_fabric() const { return probes_from_fabric_; }
+
  private:
   void forward_down(PacketPtr pkt);
   void send_to_fabric(PacketPtr pkt, LeafId dst_leaf);
@@ -108,6 +122,8 @@ class LeafSwitch : public Node {
   std::uint64_t packets_to_fabric_ = 0;
   std::uint64_t packets_from_fabric_ = 0;
   std::uint64_t dropped_no_route_ = 0;
+  std::uint64_t probes_to_fabric_ = 0;
+  std::uint64_t probes_from_fabric_ = 0;
 };
 
 }  // namespace conga::net

@@ -90,6 +90,17 @@ struct OverlayHeader {
   std::uint8_t fb_metric = 0;   ///< its congestion metric
 };
 
+/// In-fabric probe-plane header (src/probe/). `kind` holds a
+/// probe::ProbeKind value and is 0 on every data packet. Probes ride the
+/// overlay exactly like data, so the links' CE marking folds the max DRE
+/// utilization along the path into overlay.ce with no extra mechanism.
+struct ProbeHeader {
+  std::uint8_t kind = 0;           ///< 0 = not a probe (probe::ProbeKind)
+  std::uint8_t origin_uplink = 0;  ///< origin leaf's uplink under measurement
+  std::uint8_t util = 0;           ///< reply: max path utilization observed
+  LeafId origin_leaf = -1;         ///< leaf that launched the round-trip
+};
+
 /// Wire overheads, in bytes.
 constexpr std::uint32_t kIpTcpHeaderBytes = 40;    // IP(20) + TCP(20)
 constexpr std::uint32_t kOverlayHeaderBytes = 50;  // outer Eth+IP+UDP+VXLAN
@@ -105,6 +116,7 @@ struct Packet {
   bool corrupted = false;        ///< gray-failure bit error; dropped at rx
   TcpHeader tcp;
   OverlayHeader overlay;
+  ProbeHeader probe;
 
   /// The 5-tuple as seen on the wire for this packet's direction of travel:
   /// data packets travel along `flow`, ACKs along the reversed key. Hashing

@@ -45,10 +45,44 @@ void SpineSwitch::receive(PacketPtr pkt, int /*in_port*/) {
   }
   std::size_t i = 0;
   if (links.size() > 1) {
-    i = static_cast<std::size_t>(mix64(pkt->wire_key().hash() ^ hash_seed_) %
-                                 links.size());
+    i = drill_rng_ != nullptr
+            ? drill_pick(leaf, links)
+            : static_cast<std::size_t>(
+                  mix64(pkt->wire_key().hash() ^ hash_seed_) % links.size());
   }
   links[i]->send(std::move(pkt));
+}
+
+std::size_t SpineSwitch::drill_pick(std::size_t leaf,
+                                    const std::vector<Link*>& links) {
+  // Downlink removals shift indices, so the remembered winner is only a
+  // heuristic; out-of-range memory is ignored until rewritten.
+  const int mem = drill_best_[leaf];
+  const bool mem_ok = mem >= 0 && mem < static_cast<int>(links.size());
+  int cand[3];
+  int n = 0;
+  cand[n++] = static_cast<int>(drill_rng_->index(links.size()));
+  cand[n++] = static_cast<int>(drill_rng_->index(links.size()));
+  if (mem_ok) cand[n++] = mem;
+  int winner = -1;
+  std::uint64_t winner_q = 0;
+  for (int c = 0; c < n; ++c) {
+    const std::uint64_t q =
+        links[static_cast<std::size_t>(cand[c])]->queue().bytes();
+    if (winner < 0 || q < winner_q) {
+      winner = cand[c];
+      winner_q = q;
+    } else if (q == winner_q && winner != cand[c]) {
+      // Pinned tie-break: the remembered port wins, then the lowest index.
+      if (mem_ok && cand[c] == mem) {
+        winner = mem;
+      } else if (!(mem_ok && winner == mem) && cand[c] < winner) {
+        winner = cand[c];
+      }
+    }
+  }
+  drill_best_[leaf] = winner;
+  return static_cast<std::size_t>(winner);
 }
 
 void CoreSwitch::receive(PacketPtr pkt, int /*in_port*/) {

@@ -13,11 +13,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/link.hpp"
 #include "net/node.hpp"
+#include "sim/random.hpp"
 
 namespace conga::net {
 
@@ -50,6 +52,22 @@ class SpineSwitch : public Node {
   }
   void add_core_uplink(Link* link) { core_uplinks_.push_back(link); }
 
+  /// DRILL forwarding mode (src/lb_ext/drill_lb.hpp is the leaf half): when
+  /// several parallel links lead to the destination leaf, pick by
+  /// power-of-two-choices over live egress queue depths with per-destination
+  /// memory of the last winner, instead of ECMP hashing. The Rng is
+  /// allocated only when enabled, so ECMP fabrics carry no extra state or
+  /// draws (pay-for-what-you-use). Core uplinks of 3-tier pods keep ECMP.
+  void enable_drill(std::uint64_t rng_seed) {
+    drill_rng_ = std::make_unique<sim::Rng>(rng_seed);
+    drill_best_.assign(ports_to_leaf_.size(), -1);
+  }
+  void disable_drill() {
+    drill_rng_.reset();
+    drill_best_.clear();
+  }
+  bool drill_enabled() const { return drill_rng_ != nullptr; }
+
   void receive(PacketPtr pkt, int in_port) override;
   std::string name() const override { return "spine" + std::to_string(id_); }
 
@@ -57,6 +75,11 @@ class SpineSwitch : public Node {
   std::uint64_t dropped_no_route() const { return dropped_no_route_; }
 
  private:
+  /// Two-choices-plus-memory pick over the parallel links toward `leaf`.
+  /// Ties prefer the remembered port, then the lowest index (the same pinned
+  /// rule as the leaf-side DrillLb).
+  std::size_t drill_pick(std::size_t leaf, const std::vector<Link*>& links);
+
   int id_;
   std::vector<std::vector<Link*>> ports_to_leaf_;
   std::uint64_t hash_seed_;
@@ -64,6 +87,8 @@ class SpineSwitch : public Node {
   std::vector<int> leaf_to_pod_;  ///< empty in plain 2-tier fabrics
   int my_pod_ = -1;
   std::vector<Link*> core_uplinks_;
+  std::unique_ptr<sim::Rng> drill_rng_;  ///< null == ECMP forwarding
+  std::vector<int> drill_best_;          ///< per-leaf last winner (DRILL)
 };
 
 /// Core-tier switch of a 3-tier pod fabric: routes on the destination leaf's

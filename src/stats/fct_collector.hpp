@@ -47,6 +47,25 @@ class FctCollector {
   std::size_t unfinished_count() const { return unfinished_; }
   std::uint64_t bytes_outstanding() const { return bytes_outstanding_; }
 
+  /// Reordering ledger, aggregated over measured flows. Kept out of
+  /// records_ so the FCT digest stays a function of completion times only —
+  /// policies that reorder identically but deliver differently still get
+  /// distinct digests, and vice versa.
+  void record_reorder(std::uint64_t segments, std::uint64_t max_distance) {
+    reorder_segments_ += segments;
+    if (segments > 0) ++reordered_flows_;
+    if (max_distance > reorder_max_distance_) {
+      reorder_max_distance_ = max_distance;
+    }
+  }
+
+  /// Out-of-order segments summed over flows.
+  std::uint64_t reorder_segments() const { return reorder_segments_; }
+  /// Worst byte gap between a stray segment and the in-order frontier.
+  std::uint64_t reorder_max_distance() const { return reorder_max_distance_; }
+  /// Flows that saw at least one out-of-order segment.
+  std::uint64_t reordered_flows() const { return reordered_flows_; }
+
   /// Mean of FCT / optimal-FCT over all flows ("FCT (Norm. to Optimal)").
   double avg_normalized_fct() const;
 
@@ -75,6 +94,9 @@ class FctCollector {
   std::vector<FlowRecord> records_;
   std::size_t unfinished_ = 0;
   std::uint64_t bytes_outstanding_ = 0;
+  std::uint64_t reorder_segments_ = 0;
+  std::uint64_t reorder_max_distance_ = 0;
+  std::uint64_t reordered_flows_ = 0;
 };
 
 }  // namespace conga::stats

@@ -34,6 +34,12 @@ class FlowHandle {
   /// progress the liveness watchdog monitors. Equals size() once complete.
   virtual std::uint64_t progress_bytes() const = 0;
 
+  /// Reordering ledger: segments that arrived ahead of the in-order frontier
+  /// and had to be buffered at the receiver, and the largest byte gap any of
+  /// them landed at. Per-packet schemes (spray, DRILL, Presto) pay here.
+  virtual std::uint64_t reorder_segments() const { return 0; }
+  virtual std::uint64_t reorder_max_distance() const { return 0; }
+
   std::uint64_t size() const { return size_; }
   sim::TimeNs start_time() const { return start_time_; }
   bool complete() const { return completion_time_ >= 0; }
@@ -80,6 +86,13 @@ class TcpFlow final : public FlowHandle {
   void start() override;
 
   std::uint64_t progress_bytes() const override { return sink_.delivered(); }
+
+  std::uint64_t reorder_segments() const override {
+    return sink_.out_of_order_segments();
+  }
+  std::uint64_t reorder_max_distance() const override {
+    return sink_.max_reorder_distance();
+  }
 
   const TcpSender& sender() const { return sender_; }
   const TcpSink& sink() const { return sink_; }

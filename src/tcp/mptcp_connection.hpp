@@ -41,6 +41,19 @@ class MptcpFlow final : public FlowHandle {
 
   std::uint64_t progress_bytes() const override { return delivered_; }
 
+  std::uint64_t reorder_segments() const override {
+    std::uint64_t sum = 0;
+    for (const auto& s : sinks_) sum += s->out_of_order_segments();
+    return sum;
+  }
+  std::uint64_t reorder_max_distance() const override {
+    std::uint64_t worst = 0;
+    for (const auto& s : sinks_) {
+      if (s->max_reorder_distance() > worst) worst = s->max_reorder_distance();
+    }
+    return worst;
+  }
+
   /// Sum of subflow congestion windows, bytes.
   double total_cwnd() const;
   /// The current LIA coupling factor.

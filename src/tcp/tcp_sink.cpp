@@ -79,6 +79,8 @@ void TcpSink::on_packet(net::PacketPtr pkt) {
     // boundaries in practice; overlaps just resolve via the max above).
     ooo_.emplace(seq, end);
     ++ooo_segments_;
+    const std::uint64_t dist = seq - rcv_nxt_;  // seq > rcv_nxt_ here
+    if (dist > max_reorder_bytes_) max_reorder_bytes_ = dist;
   }
 
   const bool advanced = rcv_nxt_ > old_nxt;

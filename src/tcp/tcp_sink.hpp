@@ -36,6 +36,9 @@ class TcpSink {
 
   std::uint64_t delivered() const { return rcv_nxt_; }
   std::uint64_t out_of_order_segments() const { return ooo_segments_; }
+  /// Largest gap (bytes) between an out-of-order arrival and the in-order
+  /// frontier at that moment — how far ahead the worst stray segment landed.
+  std::uint64_t max_reorder_distance() const { return max_reorder_bytes_; }
   const net::FlowKey& flow() const { return flow_; }
 
  private:
@@ -54,6 +57,7 @@ class TcpSink {
   std::uint64_t rcv_nxt_ = 0;
   std::map<std::uint64_t, std::uint64_t> ooo_;  ///< seq -> end, disjoint
   std::uint64_t ooo_segments_ = 0;
+  std::uint64_t max_reorder_bytes_ = 0;
   int unacked_segments_ = 0;
   bool started_ = false;
 };

@@ -21,7 +21,8 @@ constexpr const char* kTypeNames[] = {
     "gauge_sample",      "link_drop_admin_down", "link_drop_gray",
     "link_drop_corrupt", "fault_link_flap", "fault_degrade",
     "fault_gray",        "fault_switch_reboot", "fault_stale_feedback",
-    "flow_stalled",
+    "flow_stalled",      "probe_sent",     "probe_received",
+    "probe_table_update", "flowcell_rotate",
 };
 static_assert(sizeof(kTypeNames) / sizeof(kTypeNames[0]) ==
                   static_cast<std::size_t>(EventType::kTypeCount),

@@ -103,6 +103,15 @@ enum class EventType : std::uint8_t {
   kFaultStaleFeedback,
   // kFlow — watchdog stall report. a: flow tag, b: bytes delivered so far.
   kFlowStalled,
+  // Probe plane (kProbe; src/probe/) — sent: a destination leaf, b uplink;
+  // received (request arriving at its target leaf): a origin leaf, b the max
+  // path utilization the overlay accumulated; table update (reply back at
+  // the origin): a (destination leaf << 8) | uplink, b utilization.
+  kProbeSent,
+  kProbeReceived,
+  kProbeTableUpdate,
+  // kFlowlet — Presto flowcell boundary: a flow hash, b the next port.
+  kFlowcellRotate,
   kTypeCount,
 };
 
@@ -127,6 +136,7 @@ constexpr Category category_of(EventType t) {
     case EventType::kFlowletCreate:
     case EventType::kFlowletExpire:
     case EventType::kFlowletPathChange:
+    case EventType::kFlowcellRotate:
       return Category::kFlowlet;
     case EventType::kCongaToLeafUpdate:
     case EventType::kCongaFromLeafUpdate:

@@ -1,11 +1,14 @@
 #include "workload/experiment.hpp"
 
+#include "stats/digest.hpp"
+
 namespace conga::workload {
 
 ExperimentResult run_fct_experiment(const ExperimentConfig& cfg) {
   sim::Scheduler sched;
   net::Fabric fabric(sched, cfg.topo, cfg.fabric_seed);
   fabric.install_lb(cfg.lb);
+  if (cfg.fabric_hook) cfg.fabric_hook(fabric);
 
   TrafficGenConfig gen_cfg;
   gen_cfg.load = cfg.load;
@@ -40,6 +43,14 @@ ExperimentResult run_fct_experiment(const ExperimentConfig& cfg) {
                 static_cast<double>(gen.measured_started());
   r.unfinished_flows = c.unfinished_count();
   r.bytes_outstanding = c.bytes_outstanding();
+  r.fct_digest = stats::fct_digest(c);
+  r.reorder_segments = c.reorder_segments();
+  r.reorder_max_distance = c.reorder_max_distance();
+  r.reordered_flows = c.reordered_flows();
+  for (int l = 0; l < fabric.num_leaves(); ++l) {
+    r.probes_sent += fabric.leaf(l).probes_to_fabric();
+    r.probes_received += fabric.leaf(l).probes_from_fabric();
+  }
   return r;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "net/fabric.hpp"
@@ -26,6 +27,11 @@ struct ExperimentConfig {
   sim::TimeNs max_drain = sim::seconds(1.0);
   std::uint64_t fabric_seed = 1;
   std::uint64_t traffic_seed = 7;
+
+  /// Called after install_lb, before traffic starts — for fabric-wide modes
+  /// a plain LbFactory cannot reach (e.g. Fabric::set_spine_drill for the
+  /// "drill" policy, or link degradation for asymmetric cells).
+  std::function<void(net::Fabric&)> fabric_hook;
 };
 
 struct ExperimentResult {
@@ -42,6 +48,18 @@ struct ExperimentResult {
   bool drained = false;           ///< all measured flows completed
   std::size_t unfinished_flows = 0;     ///< measured flows still live
   std::uint64_t bytes_outstanding = 0;  ///< their undelivered bytes
+  std::uint64_t fct_digest = 0;  ///< order-insensitive digest of the records
+
+  // Reordering ledger over measured flows (receiver-side cost of
+  // per-packet / per-flowcell schemes).
+  std::uint64_t reorder_segments = 0;
+  std::uint64_t reorder_max_distance = 0;
+  std::uint64_t reordered_flows = 0;
+
+  // Probe-plane overhead: control packets the leaves injected / consumed
+  // (zero for every policy without a probe plane).
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_received = 0;
 };
 
 /// Runs one experiment cell to completion and summarizes it.

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <utility>
 
+#include "telemetry/probes.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace conga::workload {
 
 TrafficGenerator::TrafficGenerator(net::Fabric& fabric,
@@ -104,6 +107,8 @@ void TrafficGenerator::on_flow_complete(std::uint64_t id,
   if (measured) {
     ++measured_completed_;
     collector_.record(flow.size(), flow.fct(), optimal_fct(flow.size()));
+    collector_.record_reorder(flow.reorder_segments(),
+                              flow.reorder_max_distance());
   }
   if (monitor_ != nullptr) monitor_->on_flow_finished(id);
   dead_.push_back(id);
@@ -126,6 +131,18 @@ void TrafficGenerator::account_unfinished() {
                           f.start_time() < cfg_.measure_stop;
     if (measured) collector_.record_unfinished(f.size(), f.progress_bytes());
   }
+}
+
+void TrafficGenerator::register_reorder_probes(
+    telemetry::TraceSink& sink) const {
+  const stats::FctCollector* col = &collector_;
+  telemetry::ProbeRegistry& reg = sink.probes();
+  reg.add_counter("tcp/reorder_segments",
+                  [col] { return col->reorder_segments(); });
+  reg.add_counter("tcp/reorder_max_distance",
+                  [col] { return col->reorder_max_distance(); });
+  reg.add_counter("tcp/reorder_flows",
+                  [col] { return col->reordered_flows(); });
 }
 
 void TrafficGenerator::reap() {

@@ -73,6 +73,19 @@ TEST(FctCollector, SizeBuckets) {
   EXPECT_NEAR(c.avg_fct_overall(), (0.001 + 0.01 + 0.1) / 3, 1e-9);
 }
 
+TEST(FctCollector, ReorderLedgerAccumulates) {
+  FctCollector c;
+  EXPECT_EQ(c.reorder_segments(), 0u);
+  EXPECT_EQ(c.reorder_max_distance(), 0u);
+  EXPECT_EQ(c.reordered_flows(), 0u);
+  c.record_reorder(0, 0);  // in-order flow: counted nowhere
+  c.record_reorder(5, 2900);
+  c.record_reorder(3, 1460);  // smaller max must not regress the ledger
+  EXPECT_EQ(c.reorder_segments(), 8u);
+  EXPECT_EQ(c.reorder_max_distance(), 2900u);
+  EXPECT_EQ(c.reordered_flows(), 2u);
+}
+
 TEST(FctCollector, P99Normalized) {
   FctCollector c;
   for (int i = 0; i < 99; ++i) c.record(1000, 100, 100);  // 1x

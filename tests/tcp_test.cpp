@@ -266,6 +266,39 @@ TEST(Tcp, ReorderingProducesDupAcksAndOooBuffering) {
   EXPECT_GT(f->sink().out_of_order_segments(), 0u);
 }
 
+TEST(Tcp, ReorderLedgerTracksSegmentsAndDistance) {
+  // Same reordering rig as above; the sink's ledger must expose both the
+  // OOO segment count and the worst gap (in bytes) ahead of rcv_nxt, and
+  // the FlowHandle accessors must mirror the sink.
+  net::TopologyConfig topo = tiny_topo();
+  topo.num_spines = 4;
+  topo.overrides.push_back({0, 1, 0, 0.05});
+  Rig rig(topo);
+  rig.fabric.install_lb(lb::spray());
+  auto f = rig.flow(0, 4, 5'000'000, dc_tcp());
+  f->start();
+  rig.sched.run();
+  ASSERT_TRUE(f->complete());
+  ASSERT_GT(f->sink().out_of_order_segments(), 0u);
+  // An OOO arrival lands at least one (possibly short) segment past
+  // rcv_nxt, so the worst observed gap is a positive byte count.
+  EXPECT_GE(f->sink().max_reorder_distance(), 1u);
+  EXPECT_EQ(f->reorder_segments(), f->sink().out_of_order_segments());
+  EXPECT_EQ(f->reorder_max_distance(), f->sink().max_reorder_distance());
+}
+
+TEST(Tcp, InOrderDeliveryLeavesLedgerEmpty) {
+  Rig rig;  // single flow, single path: nothing can reorder
+  auto f = rig.flow(0, 4, 1'000'000, dc_tcp());
+  f->start();
+  rig.sched.run();
+  ASSERT_TRUE(f->complete());
+  EXPECT_EQ(f->sink().out_of_order_segments(), 0u);
+  EXPECT_EQ(f->sink().max_reorder_distance(), 0u);
+  EXPECT_EQ(f->reorder_segments(), 0u);
+  EXPECT_EQ(f->reorder_max_distance(), 0u);
+}
+
 TEST(Tcp, DelayedAcksHalveAckCount) {
   Rig rig;
   TcpConfig cfg1 = dc_tcp();

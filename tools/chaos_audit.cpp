@@ -2,7 +2,8 @@
 //
 // For each campaign a fault plan is drawn (deterministically from the seed)
 // and executed against an identical scenario once per load-balancing policy
-// (ecmp, conga, conga-flow, spray, local). Each cell runs with the liveness
+// (by default every registered policy: ecmp, conga, conga-flow, spray,
+// local, letflow, drill, presto, hula). Each cell runs with the liveness
 // watchdog attached and is checked after the drain:
 //   * conservation — every link's packet ledger must balance: offered ==
 //     drops-by-cause + resident + in-flight + delivered;
@@ -27,6 +28,7 @@
 //   --warmup-ms N   warmup before measurement               [default 1]
 //   --drain-ms N    max drain after arrivals stop           [default 1000]
 //   --load F        offered load                            [default 0.5]
+//   --lb LIST       comma-separated policy subset to audit  [default: all]
 //
 // The "gray" profile draws gray-failure faults only (Bernoulli loss +
 // corruption on a few links), the scenario behind the CONGA-vs-ECMP
@@ -41,7 +43,7 @@
 #include "debug/watchdog.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
-#include "lb/factories.hpp"
+#include "lb_ext/policies.hpp"
 #include "runtime/parallel_runner.hpp"
 #include "stats/digest.hpp"
 #include "workload/traffic_gen.hpp"
@@ -58,20 +60,16 @@ namespace {
   std::exit(2);
 }
 
-constexpr const char* kPolicies[] = {"ecmp", "conga", "conga-flow", "spray",
-                                     "local"};
-constexpr std::size_t kNumPolicies = sizeof(kPolicies) / sizeof(kPolicies[0]);
-
-net::Fabric::LbFactory make_lb(const std::string& name) {
-  if (name == "ecmp") return lb::ecmp();
-  if (name == "conga") return core::conga();
-  if (name == "conga-flow") return core::conga_flow();
-  if (name == "spray") return lb::spray();
-  if (name == "local") return lb::local_aware();
-  usage(("unknown policy: " + name).c_str());
-}
+// Audited by default: every registered policy (weighted and local-eq are
+// behavioural duplicates of ecmp/local under faults, so they are left to an
+// explicit --lb list).
+constexpr const char* kDefaultPolicies[] = {
+    "ecmp",    "conga", "conga-flow", "spray", "local",
+    "letflow", "drill", "presto",     "hula"};
 
 struct AuditConfig {
+  std::vector<std::string> policies{std::begin(kDefaultPolicies),
+                                    std::end(kDefaultPolicies)};
   std::uint64_t seed = 1;
   int campaigns = 3;
   int jobs = 1;
@@ -152,7 +150,11 @@ CellResult run_cell(const AuditConfig& cfg, const std::string& policy,
   });
 
   net::Fabric fabric(sched, topo, cfg.seed);
-  fabric.install_lb(make_lb(policy));
+  if (!lb_ext::install_policy(fabric, policy)) {
+    usage(("unknown policy: " + policy +
+           " (registered: " + lb_ext::policy_names() + ")")
+              .c_str());
+  }
 
   telemetry::TraceSinkConfig sink_cfg;
   sink_cfg.ring_capacity = 64;
@@ -222,10 +224,11 @@ void write_report(std::FILE* f, const AuditConfig& cfg,
   std::fprintf(f, "  \"profile\": \"%s\",\n", cfg.profile.c_str());
   std::fprintf(f, "  \"load\": %.3f,\n", cfg.load);
   std::fprintf(f, "  \"cells\": [\n");
+  const std::size_t n_policies = cfg.policies.size();
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellResult& r = cells[i];
-    const int campaign = static_cast<int>(i / kNumPolicies);
-    const char* policy = kPolicies[i % kNumPolicies];
+    const int campaign = static_cast<int>(i / n_policies);
+    const char* policy = cfg.policies[i % n_policies].c_str();
     std::fprintf(
         f,
         "    {\"campaign\": %d, \"policy\": \"%s\", \"survived\": %s, "
@@ -246,9 +249,9 @@ void write_report(std::FILE* f, const AuditConfig& cfg,
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"summary\": [\n");
-  for (std::size_t p = 0; p < kNumPolicies; ++p) {
+  for (std::size_t p = 0; p < n_policies; ++p) {
     std::uint64_t survived = 0, flows = 0, unfinished = 0, stalls = 0;
-    for (std::size_t i = p; i < cells.size(); i += kNumPolicies) {
+    for (std::size_t i = p; i < cells.size(); i += n_policies) {
       survived += cells[i].survived ? 1 : 0;
       flows += cells[i].flows;
       unfinished += cells[i].unfinished;
@@ -258,8 +261,8 @@ void write_report(std::FILE* f, const AuditConfig& cfg,
                  "    {\"policy\": \"%s\", \"cells\": %d, \"survived\": "
                  "%" PRIu64 ", \"flows_completed\": %" PRIu64
                  ", \"unfinished\": %" PRIu64 ", \"stalls\": %" PRIu64 "}%s\n",
-                 kPolicies[p], cfg.campaigns, survived, flows, unfinished,
-                 stalls, p + 1 < kNumPolicies ? "," : "");
+                 cfg.policies[p].c_str(), cfg.campaigns, survived, flows,
+                 unfinished, stalls, p + 1 < n_policies ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   bool ok = true;
@@ -300,6 +303,26 @@ int main(int argc, char** argv) {
       cfg.drain_ms = std::atoi(need(i));
     } else if (a == "--load") {
       cfg.load = std::atof(need(i));
+    } else if (a == "--lb") {
+      cfg.policies.clear();
+      std::string list = need(i);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!name.empty()) {
+          if (lb_ext::find_policy(name) == nullptr) {
+            usage(("unknown --lb policy: " + name +
+                   " (registered: " + lb_ext::policy_names() + ")")
+                      .c_str());
+          }
+          cfg.policies.push_back(name);
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (cfg.policies.empty()) usage("--lb needs at least one policy");
     } else if (a == "--help" || a == "-h") {
       usage("usage");
     } else {
@@ -311,17 +334,18 @@ int main(int argc, char** argv) {
     usage(("unknown --profile: " + cfg.profile).c_str());
   }
 
+  const std::size_t n_policies = cfg.policies.size();
   const std::size_t n_cells =
-      static_cast<std::size_t>(cfg.campaigns) * kNumPolicies;
+      static_cast<std::size_t>(cfg.campaigns) * n_policies;
   std::printf("chaos_audit: %d campaign(s) x %zu policies, profile=%s, "
               "seed=%" PRIu64 ", jobs=%d\n",
-              cfg.campaigns, kNumPolicies, cfg.profile.c_str(), cfg.seed,
+              cfg.campaigns, n_policies, cfg.profile.c_str(), cfg.seed,
               cfg.jobs);
 
   const std::vector<CellResult> cells =
       runtime::parallel_map<CellResult>(n_cells, cfg.jobs, [&](std::size_t i) {
-        const std::uint64_t plan_seed = cfg.seed + i / kNumPolicies;
-        return run_cell(cfg, kPolicies[i % kNumPolicies], plan_seed);
+        const std::uint64_t plan_seed = cfg.seed + i / n_policies;
+        return run_cell(cfg, cfg.policies[i % n_policies], plan_seed);
       });
 
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -330,7 +354,7 @@ int main(int argc, char** argv) {
                 " stalls=%" PRIu64 " transitions=%" PRIu64
                 " drops(q/adm/gray/corr)=%" PRIu64 "/%" PRIu64 "/%" PRIu64
                 "/%" PRIu64 "\n",
-                i / kNumPolicies, kPolicies[i % kNumPolicies],
+                i / n_policies, cfg.policies[i % n_policies].c_str(),
                 r.survived ? "SURVIVED" : (r.conservation_ok ? "unfinished "
                                                              : "LEAK      "),
                 r.flows, r.unfinished, r.stalls, r.transitions, r.drops_queue,

@@ -12,7 +12,9 @@
 //   --topology baseline|failure      preset testbed topologies (Fig 7)
 //   --leaves N --spines N --hosts N --parallel N   custom Leaf-Spine
 //   --fail L:S:P[:factor]            fail (or degrade) a leaf-spine link
-//   --lb ecmp|conga|conga-flow|spray|local|local-eq|weighted
+//   --lb NAME                        any registered policy (ecmp, conga,
+//                                    conga-flow, spray, local, local-eq,
+//                                    weighted, letflow, drill, presto, hula)
 //   --workload enterprise|data-mining|web-search|fixed:BYTES
 //   --transport tcp|mptcp|dctcp      (dctcp implies --ecn-kb 100 default)
 //   --load F --duration-ms N --warmup-ms N --seed N --min-rto-ms N
@@ -23,7 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "lb/factories.hpp"
+#include "lb_ext/policies.hpp"
 #include "stats/samplers.hpp"
 #include "tcp/mptcp_connection.hpp"
 #include "workload/experiment.hpp"
@@ -115,17 +117,6 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
-net::Fabric::LbFactory make_lb(const std::string& name) {
-  if (name == "ecmp") return lb::ecmp();
-  if (name == "conga") return core::conga();
-  if (name == "conga-flow") return core::conga_flow();
-  if (name == "spray") return lb::spray();
-  if (name == "local") return lb::local_aware();
-  if (name == "local-eq") return lb::local_equal();
-  if (name == "weighted") return lb::weighted({1.0, 1.0});
-  usage(("unknown --lb: " + name).c_str());
-}
-
 workload::FlowSizeDist make_dist(const std::string& name) {
   if (name == "enterprise") return workload::enterprise();
   if (name == "data-mining") return workload::data_mining();
@@ -187,7 +178,11 @@ int main(int argc, char** argv) {
   // Build + run, keeping the fabric around for the utilization report.
   sim::Scheduler sched;
   net::Fabric fabric(sched, topo, o.seed);
-  fabric.install_lb(make_lb(o.lb));
+  if (!lb_ext::install_policy(fabric, o.lb)) {
+    usage(("unknown --lb: " + o.lb +
+           " (registered: " + lb_ext::policy_names() + ")")
+              .c_str());
+  }
   workload::TrafficGenConfig gc;
   gc.load = o.load;
   gc.stop = sim::milliseconds(o.warmup_ms + o.duration_ms);

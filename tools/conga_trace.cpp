@@ -9,7 +9,7 @@
 //                       offline from the exported file (see `percentiles`).
 //     --out PATH        JSONL output                 [default trace.jsonl]
 //     --csv PATH        also export CSV
-//     --lb NAME         ecmp|conga|conga-flow        [default conga]
+//     --lb NAME         any registered policy        [default conga]
 //     --stop-ms N       run length                   [default 80]
 //     --ring N          per-component ring capacity  [default 8192]
 //     --cats a,b,...    category mask (queue,link,dre,flowlet,conga_table,
@@ -41,7 +41,7 @@
 #include <vector>
 
 #include "fault/fault_injector.hpp"
-#include "lb/factories.hpp"
+#include "lb_ext/policies.hpp"
 #include "net/fabric.hpp"
 #include "stats/summary.hpp"
 #include "telemetry/export.hpp"
@@ -149,15 +149,10 @@ int cmd_record(int argc, char** argv) {
     }
   }
 
-  net::Fabric::LbFactory lb;
-  if (lb_name == "ecmp") {
-    lb = lb::ecmp();
-  } else if (lb_name == "conga") {
-    lb = core::conga();
-  } else if (lb_name == "conga-flow") {
-    lb = core::conga_flow();
-  } else {
-    usage(("unknown --lb: " + lb_name).c_str());
+  if (lb_ext::find_policy(lb_name) == nullptr) {
+    usage(("unknown --lb: " + lb_name +
+           " (registered: " + lb_ext::policy_names() + ")")
+              .c_str());
   }
 
   // The Fig 11(c) scenario, exactly as bench/fig11_link_failure runs it.
@@ -167,7 +162,7 @@ int cmd_record(int argc, char** argv) {
 
   sim::Scheduler sched;
   net::Fabric fabric(sched, topo, 31);
-  fabric.install_lb(lb);
+  lb_ext::install_policy(fabric, lb_name);
 
   telemetry::TraceSinkConfig cfg;
   cfg.ring_capacity = ring;
