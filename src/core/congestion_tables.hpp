@@ -19,7 +19,7 @@
 #include <optional>
 #include <vector>
 
-#include "net/packet.hpp"
+#include "net/flow_key.hpp"
 #include "sim/time.hpp"
 
 namespace conga::telemetry {

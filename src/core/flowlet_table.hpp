@@ -20,7 +20,7 @@
 #include <utility>
 #include <vector>
 
-#include "net/packet.hpp"
+#include "net/flow_key.hpp"
 #include "sim/time.hpp"
 
 namespace conga::telemetry {

@@ -1,0 +1,110 @@
+// Annotated synchronization primitives.
+//
+// Thin wrappers over <mutex> and <thread> carrying the Clang
+// thread-safety-analysis attributes (src/core/thread_annotations.hpp), so
+// lock discipline is statically checkable under -Wthread-safety while
+// compiling to exactly the std primitives everywhere else.
+//
+//  * Mutex / MutexLock — std::mutex plus CAPABILITY/SCOPED_CAPABILITY
+//    annotations; members guarded by a Mutex declare CONGA_GUARDED_BY(mu_).
+//  * ThreadChecker — a *thread-confinement* capability (the simulator's
+//    single-writer components: TraceSink rings, ProbeRegistry, PacketPool).
+//    It is not a lock: check() asserts, for the analysis, that the calling
+//    context is the owning thread, and — in CONGA_CHECK_INVARIANTS builds —
+//    verifies it at runtime (lazy-bound to the first checking thread, like
+//    the components themselves, which are created and used on one worker).
+//    Members declared CONGA_GUARDED_BY(checker_) are then inaccessible from
+//    any method that forgot to check, and a cross-thread use aborts with a
+//    report in invariant builds instead of corrupting a digest.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "core/thread_annotations.hpp"
+
+namespace conga::core {
+
+/// std::mutex with capability annotations.
+class CONGA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CONGA_ACQUIRE() { mu_.lock(); }
+  void unlock() CONGA_RELEASE() { mu_.unlock(); }
+  bool try_lock() CONGA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock holding a Mutex for the enclosing scope.
+class CONGA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CONGA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CONGA_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Thread-confinement capability (see file comment). Zero-cost in regular
+/// builds: check() is an empty inline function carrying only the
+/// assert_capability attribute.
+class CONGA_CAPABILITY("role") ThreadChecker {
+ public:
+  /// Asserts that the caller runs on the owning thread. Binds the owner on
+  /// first call (construction-site threads never touch some components, so
+  /// binding at first *use* matches the confinement that matters).
+  void check() const CONGA_ASSERT_CAPABILITY() {
+#ifdef CONGA_CHECK_INVARIANTS
+    const std::uint64_t self = current_thread_token();
+    std::uint64_t bound = owner_.load(std::memory_order_relaxed);
+    if (bound == 0) {
+      if (owner_.compare_exchange_strong(bound, self,
+                                         std::memory_order_relaxed)) {
+        return;
+      }
+      // Lost the race: `bound` now holds the winner's token.
+    }
+    if (bound != self) {
+      std::fprintf(stderr,
+                   "ThreadChecker: component bound to thread %016llx touched "
+                   "from thread %016llx — thread-confined state crossed a "
+                   "thread boundary\n",
+                   static_cast<unsigned long long>(bound),
+                   static_cast<unsigned long long>(self));
+      std::abort();
+    }
+#endif
+  }
+
+  /// Releases ownership so the next check() rebinds (explicit handoff, e.g.
+  /// a component built on the main thread then given to one worker).
+  void detach() {
+#ifdef CONGA_CHECK_INVARIANTS
+    owner_.store(0, std::memory_order_relaxed);
+#endif
+  }
+
+ private:
+#ifdef CONGA_CHECK_INVARIANTS
+  static std::uint64_t current_thread_token() {
+    const std::uint64_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return h | 1;  // 0 is the "unbound" sentinel
+  }
+
+  mutable std::atomic<std::uint64_t> owner_{0};
+#endif
+};
+
+}  // namespace conga::core

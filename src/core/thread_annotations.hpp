@@ -1,0 +1,68 @@
+// Portable Clang thread-safety-analysis annotations.
+//
+// Wraps the `thread_safety` attribute family so annotated code compiles on
+// every toolchain: under Clang the macros expand to the real attributes and
+// a build with -Wthread-safety (the CI `analysis` lane sets
+// CONGA_THREAD_SAFETY=ON, which adds -Wthread-safety -Werror=thread-safety)
+// statically verifies lock discipline; under GCC they expand to nothing.
+//
+// This is the static complement to the TSan lane: TSan finds races a test
+// happens to execute, the annotations reject lock-discipline violations at
+// compile time on every path. The annotated primitives live in
+// src/core/sync.hpp (Mutex, MutexLock, ThreadChecker).
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CONGA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CONGA_THREAD_ANNOTATION(x)  // no-op on non-Clang toolchains
+#endif
+
+/// Marks a class as a capability (e.g. a mutex, or a thread-confinement
+/// role). `x` names the capability kind in diagnostics ("mutex", "role").
+#define CONGA_CAPABILITY(x) CONGA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define CONGA_SCOPED_CAPABILITY CONGA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member is protected by the given capability.
+#define CONGA_GUARDED_BY(x) CONGA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define CONGA_PT_GUARDED_BY(x) CONGA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability/capabilities held on entry (and does not
+/// release them).
+#define CONGA_REQUIRES(...) \
+  CONGA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past the return.
+#define CONGA_ACQUIRE(...) \
+  CONGA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define CONGA_RELEASE(...) \
+  CONGA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define CONGA_TRY_ACQUIRE(b, ...) \
+  CONGA_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrant locking).
+#define CONGA_EXCLUDES(...) CONGA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (without acquiring) that the calling context holds the
+/// capability; the analysis treats it as held for the rest of the scope.
+/// Used by ThreadChecker::check() for thread-confined components.
+#define CONGA_ASSERT_CAPABILITY(...) \
+  CONGA_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define CONGA_RETURN_CAPABILITY(x) CONGA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function (e.g. test
+/// scaffolding deliberately violating discipline).
+#define CONGA_NO_THREAD_SAFETY_ANALYSIS \
+  CONGA_THREAD_ANNOTATION(no_thread_safety_analysis)

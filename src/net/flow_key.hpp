@@ -1,0 +1,66 @@
+// Flow identity: the inner 5-tuple and the fabric-wide id types.
+//
+// Split out of packet.hpp so the CONGA table layer (src/core/ — flowlet
+// table, congestion tables) can key on flow identity without seeing the TCP
+// or overlay header definitions; the layering checker
+// (tools/analyze/layers.conf) places this header in the bottom `wire` layer
+// together with packet.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/hash.hpp"
+
+namespace conga::net {
+
+using HostId = std::int32_t;
+using LeafId = std::int32_t;
+
+// mix64 historically lived in packet.hpp; it moved to sim/hash.hpp so lower
+// layers (sim::Rng stream derivation) can share it. Re-exported for the many
+// net-layer consumers.
+using sim::mix64;
+
+/// Inner 5-tuple, always stated in the *data* direction of a connection
+/// (sender -> receiver); ACKs carry the same key with `is_ack` set. This
+/// keeps endpoint demux trivial while still giving hash-based mechanisms
+/// (ECMP, flowlet table) a stable per-connection identity.
+struct FlowKey {
+  HostId src_host = -1;
+  HostId dst_host = -1;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  /// Stable 64-bit mix of the tuple (SplitMix64 over the packed fields), the
+  /// base for ECMP and flowlet hashing. Per-switch seeds are XORed in by the
+  /// consumers so different switches make independent choices.
+  std::uint64_t hash() const {
+    std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_host)) << 32) |
+                      static_cast<std::uint32_t>(dst_host);
+    x ^= (static_cast<std::uint64_t>(src_port) << 16 | dst_port) * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+};
+
+/// Reverses a key (used when constructing the ACK direction's wire identity,
+/// e.g. for CONGA, which sees the ACK stream as reverse-direction traffic).
+inline FlowKey reversed(const FlowKey& k) {
+  return FlowKey{k.dst_host, k.src_host, k.dst_port, k.src_port};
+}
+
+}  // namespace conga::net
+
+template <>
+struct std::hash<conga::net::FlowKey> {
+  std::size_t operator()(const conga::net::FlowKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hash());
+  }
+};

@@ -1,7 +1,13 @@
 #include "net/packet.hpp"
 
 #include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace conga::net {
 
@@ -13,10 +19,16 @@ namespace {
 // state touches only the hot end of one cache line. Thread-local (rather
 // than a locked global) makes the pool safe under the parallel experiment
 // runner for free: every worker owns a full simulation, so packets are
-// acquired and released on the same thread.
+// acquired and released on the same thread. The ThreadChecker states that
+// confinement as a checkable capability for -Wthread-safety; because the
+// pool is thread_local, the sharper runtime hazard is a packet *released on
+// the wrong thread* — it lands in the releasing thread's pool while its
+// chunk belongs to (and dies with) the allocating thread. Invariant builds
+// verify chunk ownership on every release and abort on the first crossing.
 class PacketPool {
  public:
   Packet* acquire() {
+    thread_.check();
     ++stats_.acquired;
     if (free_.empty()) grow();
     Packet* p = free_.back();
@@ -25,11 +37,22 @@ class PacketPool {
   }
 
   void release(Packet* p) noexcept {
+    thread_.check();
+#ifdef CONGA_CHECK_INVARIANTS
+    if (!owns(p)) {
+      std::fprintf(stderr,
+                   "PacketPool: packet %p released on a thread that did not "
+                   "allocate it (cross-thread PacketPtr escape)\n",
+                   static_cast<void*>(p));
+      std::abort();
+    }
+#endif
     ++stats_.released;
     free_.push_back(p);
   }
 
   PacketPoolStats stats() const {
+    thread_.check();
     PacketPoolStats s = stats_;
     s.free_size = free_.size();
     return s;
@@ -38,7 +61,20 @@ class PacketPool {
  private:
   static constexpr std::size_t kChunkPackets = 256;
 
-  void grow() {
+#ifdef CONGA_CHECK_INVARIANTS
+  bool owns(const Packet* p) const CONGA_REQUIRES(thread_) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    for (const auto& chunk : chunks_) {
+      const auto base = reinterpret_cast<std::uintptr_t>(chunk.get());
+      if (addr >= base && addr < base + kChunkPackets * sizeof(Packet)) {
+        return true;
+      }
+    }
+    return false;
+  }
+#endif
+
+  void grow() CONGA_REQUIRES(thread_) {
     ++stats_.chunk_allocs;
     chunks_.push_back(std::make_unique<Packet[]>(kChunkPackets));
     Packet* base = chunks_.back().get();
@@ -46,9 +82,10 @@ class PacketPool {
     for (std::size_t i = 0; i < kChunkPackets; ++i) free_.push_back(base + i);
   }
 
-  std::vector<std::unique_ptr<Packet[]>> chunks_;
-  std::vector<Packet*> free_;
-  PacketPoolStats stats_;
+  core::ThreadChecker thread_;
+  std::vector<std::unique_ptr<Packet[]>> chunks_ CONGA_GUARDED_BY(thread_);
+  std::vector<Packet*> free_ CONGA_GUARDED_BY(thread_);
+  PacketPoolStats stats_ CONGA_GUARDED_BY(thread_);
 };
 
 PacketPool& thread_pool() {

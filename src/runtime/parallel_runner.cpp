@@ -4,10 +4,39 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
+#include <utility>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace conga::runtime {
+
+namespace {
+
+/// First-error capture shared by the worker threads. The annotations make
+/// the discipline checkable: `first_` is only reachable with `mu_` held, so
+/// a refactor that touches it lock-free fails the -Wthread-safety lane.
+class ErrorSlot {
+ public:
+  void capture(std::exception_ptr e) CONGA_EXCLUDES(mu_) {
+    const core::MutexLock lock(mu_);
+    if (!first_) first_ = std::move(e);
+  }
+
+  /// The first captured exception (empty if none). Called after all workers
+  /// joined; still locks so the annotation story stays uniform.
+  std::exception_ptr take() CONGA_EXCLUDES(mu_) {
+    const core::MutexLock lock(mu_);
+    return first_;
+  }
+
+ private:
+  core::Mutex mu_;
+  std::exception_ptr first_ CONGA_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 int default_jobs() {
   if (const char* env = std::getenv("CONGA_BENCH_JOBS")) {
@@ -29,8 +58,7 @@ void parallel_for(std::size_t count, int jobs,
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(jobs), count);
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  ErrorSlot errors;
 
   auto worker = [&] {
     for (;;) {
@@ -39,8 +67,7 @@ void parallel_for(std::size_t count, int jobs,
       try {
         task(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
+        errors.capture(std::current_exception());
       }
     }
   };
@@ -49,7 +76,7 @@ void parallel_for(std::size_t count, int jobs,
   threads.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker);
   for (std::thread& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (std::exception_ptr e = errors.take()) std::rethrow_exception(e);
 }
 
 }  // namespace conga::runtime

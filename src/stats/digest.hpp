@@ -18,7 +18,7 @@
 #include <bit>
 #include <cstdint>
 
-#include "net/packet.hpp"  // mix64
+#include "sim/hash.hpp"
 
 namespace conga::stats {
 
@@ -27,21 +27,21 @@ namespace conga::stats {
 /// representations of zero cannot split a digest.
 inline std::uint64_t hash_double(double d) {
   if (d == 0.0) d = 0.0;  // collapse -0.0
-  return net::mix64(std::bit_cast<std::uint64_t>(d));
+  return sim::mix64(std::bit_cast<std::uint64_t>(d));
 }
 
 /// Order-sensitive streaming digest (mix-and-fold chain over 64-bit words).
 class TraceDigest {
  public:
   void add(std::uint64_t v) {
-    h_ = net::mix64(h_ ^ net::mix64(v + kGamma));
+    h_ = sim::mix64(h_ ^ sim::mix64(v + kGamma));
     ++words_;
   }
   void add_double(double d) { add(hash_double(d)); }
 
   /// Final value; folds the word count in so a truncated stream with a
   /// colliding prefix still differs.
-  std::uint64_t value() const { return net::mix64(h_ ^ words_); }
+  std::uint64_t value() const { return sim::mix64(h_ ^ words_); }
   std::uint64_t words() const { return words_; }
 
  private:
@@ -57,14 +57,14 @@ class TraceDigest {
 class UnorderedDigest {
  public:
   void add(std::uint64_t item_hash) {
-    const std::uint64_t m = net::mix64(item_hash);
+    const std::uint64_t m = sim::mix64(item_hash);
     sum_ += m;
     xor_ ^= m;
     ++count_;
   }
 
   std::uint64_t value() const {
-    return net::mix64(sum_ ^ net::mix64(xor_ ^ count_));
+    return sim::mix64(sum_ ^ sim::mix64(xor_ ^ count_));
   }
   std::uint64_t count() const { return count_; }
 

@@ -7,6 +7,7 @@
 namespace conga::telemetry {
 
 int ProbeRegistry::add_counter(std::string name, CounterFn fn) {
+  thread_.check();
   Probe p;
   p.name = std::move(name);
   p.kind = Kind::kCounter;
@@ -16,6 +17,7 @@ int ProbeRegistry::add_counter(std::string name, CounterFn fn) {
 }
 
 int ProbeRegistry::add_gauge(std::string name, GaugeFn fn) {
+  thread_.check();
   Probe p;
   p.name = std::move(name);
   p.kind = Kind::kGauge;
@@ -25,6 +27,7 @@ int ProbeRegistry::add_gauge(std::string name, GaugeFn fn) {
 }
 
 int ProbeRegistry::find(std::string_view name) const {
+  thread_.check();
   for (std::size_t i = 0; i < probes_.size(); ++i) {
     if (probes_[i].name == name) return static_cast<int>(i);
   }

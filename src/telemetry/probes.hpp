@@ -23,6 +23,8 @@
 #include <string_view>
 #include <vector>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/summary.hpp"
 #include "telemetry/telemetry.hpp"
@@ -52,13 +54,21 @@ class ProbeRegistry {
   /// Index of the first probe named `name`, or -1.
   int find(std::string_view name) const;
 
-  std::size_t size() const { return probes_.size(); }
+  std::size_t size() const {
+    thread_.check();
+    return probes_.size();
+  }
   const Probe& probe(int index) const {
+    thread_.check();
     return probes_[static_cast<std::size_t>(index)];
   }
 
  private:
-  std::vector<Probe> probes_;
+  // Thread-confined like the TraceSink that owns this registry: probes are
+  // registered and sampled on the simulation's one thread (see
+  // core::ThreadChecker).
+  core::ThreadChecker thread_;
+  std::vector<Probe> probes_ CONGA_GUARDED_BY(thread_);
 };
 
 /// Samples a set of probes on a fixed schedule. Series are always collected

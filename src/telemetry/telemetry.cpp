@@ -82,6 +82,7 @@ TraceSink::TraceSink(TraceSinkConfig cfg)
 TraceSink::~TraceSink() = default;
 
 ComponentId TraceSink::intern_component(std::string_view name) {
+  thread_.check();
   auto it = by_name_.find(std::string(name));
   if (it != by_name_.end()) return it->second;
   const auto id = static_cast<ComponentId>(components_.size());
@@ -97,12 +98,14 @@ ComponentId TraceSink::intern_component(std::string_view name) {
 }
 
 ComponentId TraceSink::find_component(std::string_view name) const {
+  thread_.check();
   auto it = by_name_.find(std::string(name));
   return it == by_name_.end() ? kInvalidComponent : it->second;
 }
 
 void TraceSink::record(EventType type, ComponentId comp, sim::TimeNs t,
                        std::uint64_t a, std::uint64_t b) {
+  thread_.check();
   Component& c = components_[comp];
   Event e;
   e.t = t;
@@ -130,6 +133,7 @@ void TraceSink::record(EventType type, ComponentId comp, sim::TimeNs t,
 }
 
 std::vector<Event> TraceSink::events(ComponentId comp) const {
+  thread_.check();
   const Component& c = components_[comp];
   std::vector<Event> out;
   out.reserve(c.ring.size());
@@ -146,6 +150,7 @@ std::vector<Event> TraceSink::events(ComponentId comp) const {
 }
 
 std::vector<Event> TraceSink::all_events() const {
+  thread_.check();
   std::vector<Event> out;
   out.reserve(static_cast<std::size_t>(
       std::min<std::uint64_t>(total_recorded_, components_.size() *
@@ -159,6 +164,9 @@ std::vector<Event> TraceSink::all_events() const {
   return out;
 }
 
-std::uint64_t TraceSink::digest() const { return digest_.value(); }
+std::uint64_t TraceSink::digest() const {
+  thread_.check();
+  return digest_.value();
+}
 
 }  // namespace conga::telemetry

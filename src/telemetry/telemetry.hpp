@@ -26,6 +26,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "sim/time.hpp"
 #include "stats/digest.hpp"
 
@@ -203,8 +205,12 @@ class TraceSink {
   ComponentId intern_component(std::string_view name);
   /// Lookup without registering; kInvalidComponent if absent.
   ComponentId find_component(std::string_view name) const;
-  std::size_t component_count() const { return components_.size(); }
+  std::size_t component_count() const {
+    thread_.check();
+    return components_.size();
+  }
   const std::string& component_name(ComponentId id) const {
+    thread_.check();
     return components_[id].name;
   }
 
@@ -225,9 +231,16 @@ class TraceSink {
   std::vector<Event> all_events() const;
 
   /// Total events recorded / overwritten-by-ring-wrap, across components.
-  std::uint64_t total_recorded() const { return total_recorded_; }
-  std::uint64_t total_overwritten() const { return total_overwritten_; }
+  std::uint64_t total_recorded() const {
+    thread_.check();
+    return total_recorded_;
+  }
+  std::uint64_t total_overwritten() const {
+    thread_.check();
+    return total_overwritten_;
+  }
   std::uint64_t recorded(ComponentId comp) const {
+    thread_.check();
     return components_[comp].recorded;
   }
 
@@ -248,14 +261,23 @@ class TraceSink {
     std::uint64_t recorded = 0;
   };
 
+  // The recording state is thread-confined, not locked: each simulation
+  // (parallel-runner cells included) owns its sink on one thread. The
+  // ThreadChecker makes that confinement a checkable capability — every
+  // method touching the rings asserts it, -Wthread-safety rejects accesses
+  // that skip the assert, and invariant builds verify the thread at runtime.
+  // cfg_ / category_mask_ are configuration, set before the run; they stay
+  // outside the guard so emit()'s mask test stays a bare load.
   TraceSinkConfig cfg_;
   std::uint32_t category_mask_;
-  std::vector<Component> components_;
-  std::unordered_map<std::string, ComponentId> by_name_;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t total_recorded_ = 0;
-  std::uint64_t total_overwritten_ = 0;
-  stats::TraceDigest digest_;
+  core::ThreadChecker thread_;
+  std::vector<Component> components_ CONGA_GUARDED_BY(thread_);
+  std::unordered_map<std::string, ComponentId> by_name_
+      CONGA_GUARDED_BY(thread_);
+  std::uint64_t next_seq_ CONGA_GUARDED_BY(thread_) = 1;
+  std::uint64_t total_recorded_ CONGA_GUARDED_BY(thread_) = 0;
+  std::uint64_t total_overwritten_ CONGA_GUARDED_BY(thread_) = 0;
+  stats::TraceDigest digest_ CONGA_GUARDED_BY(thread_);
   std::unique_ptr<ProbeRegistry> probes_;
 };
 

@@ -121,6 +121,8 @@ void TrafficGenerator::on_flow_complete(std::uint64_t id,
 void TrafficGenerator::account_unfinished() {
   std::vector<std::uint64_t> ids;
   ids.reserve(flows_.size());
+  // conga-lint: allow(unordered-iter): collects ids only, sorted below
+  // before anything order-sensitive (the collector) consumes them.
   for (const auto& [id, flow] : flows_) {
     if (!flow->complete()) ids.push_back(id);
   }

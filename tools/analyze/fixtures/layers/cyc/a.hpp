@@ -1,0 +1,3 @@
+#pragma once
+#include "cyc/b.hpp"
+inline int cyc_a() { return 1; }

@@ -1,0 +1,4 @@
+#pragma once
+#include "cyc/a.hpp"
+// Same-layer cycle: legal by rank ordering, caught by the SCC pass.
+inline int cyc_b() { return 2; }

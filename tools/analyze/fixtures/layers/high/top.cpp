@@ -1,0 +1,5 @@
+#include "high/top_api.hpp"
+
+#include "mid/mid.hpp"
+
+int top() { return top_api() + mid_value(); }

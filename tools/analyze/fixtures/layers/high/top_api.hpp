@@ -1,0 +1,2 @@
+#pragma once
+inline int top_api() { return 42; }

@@ -1,0 +1,8 @@
+#include "low/base.hpp"
+#include "xcut/log.hpp"
+// Legal: an implementation file may include a crosscutting module from any
+// layer (this is how debug/telemetry instrumentation reaches hot paths).
+int base_twice() {
+  xcut_log(2);
+  return 2 * base_value();
+}

@@ -1,0 +1,4 @@
+#pragma once
+#include "high/top_api.hpp"
+// Upward include: mid may not depend on high.
+inline int mid_bad() { return top_api(); }

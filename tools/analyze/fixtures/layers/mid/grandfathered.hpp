@@ -1,0 +1,5 @@
+#pragma once
+#include "high/top_api.hpp"
+// Same shape as bad_up.hpp but covered by an `except` line in the config:
+// reported on stderr, not fatal — the ratchet mechanism.
+inline int mid_grandfathered() { return top_api(); }

@@ -1,0 +1,3 @@
+#pragma once
+#include "low/base.hpp"
+inline int mid_value() { return base_value() + 1; }

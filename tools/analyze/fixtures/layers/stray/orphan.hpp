@@ -1,0 +1,3 @@
+#pragma once
+// No layer claims stray/: the checker must refuse unassigned files.
+inline int orphan() { return 0; }

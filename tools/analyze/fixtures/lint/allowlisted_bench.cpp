@@ -1,0 +1,10 @@
+// Negative fixture: wall-clock use that lint.conf allowlists (the real
+// tree's equivalent is the perf-baseline timing harness). No diagnostics
+// may fire here.
+#include <chrono>
+
+inline double bench_now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,21 @@
+// Fixture: telemetry enum with an entry INSERTED before an existing one —
+// shifts the numeric value of kBeta, which is digest/wire format.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+enum class EventType : std::uint8_t {  // expect(telemetry-enum-drift)
+  kAlpha,
+  kGamma,  // inserted: golden says position 1 is kBeta
+  kBeta,
+  kTypeCount,
+};
+
+enum class Category : std::uint8_t {
+  kOne,
+  kCount,
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Must FAIL to compile under clang -Wthread-safety -Werror=thread-safety:
+// writes a guarded member without holding its mutex, and touches thread-
+// confined state without asserting the role capability. GCC (where the
+// annotations are no-ops) accepts this file — which is exactly why the
+// CONGA_THREAD_SAFETY lane insists on Clang.
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unlocked() { ++value_; }  // guarded write, no lock held
+
+  int peek_unchecked() const { return cached_; }  // no thread_.check()
+
+ private:
+  conga::core::Mutex mu_;
+  int value_ CONGA_GUARDED_BY(mu_) = 0;
+
+  conga::core::ThreadChecker thread_;
+  int cached_ CONGA_GUARDED_BY(thread_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_unlocked();
+  return c.peek_unchecked();
+}

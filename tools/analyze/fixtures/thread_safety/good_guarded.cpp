@@ -1,0 +1,34 @@
+// Must compile CLEANLY under clang -Wthread-safety -Werror=thread-safety:
+// the locked/checked twins of bad_guarded.cpp.
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const conga::core::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int peek() const {
+    thread_.check();
+    return cached_;
+  }
+
+ private:
+  conga::core::Mutex mu_;
+  int value_ CONGA_GUARDED_BY(mu_) = 0;
+
+  conga::core::ThreadChecker thread_;
+  int cached_ CONGA_GUARDED_BY(thread_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.peek();
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# check_format.sh — clang-format gate over *changed* files only.
+#
+# Usage:
+#   tools/check_format.sh [--base REF] [--fix] [FILES...]
+#
+#   --base REF   diff base for file discovery (default: origin/main, falling
+#                back to HEAD~1)
+#   --fix        rewrite the files instead of checking
+#   FILES...     explicit files (overrides the git diff)
+#
+# Deliberately diff-scoped: the tree predates .clang-format, so a whole-tree
+# gate would demand a bulk reformat that buries real changes. New/touched
+# files conform; untouched history is left alone.
+#
+# Exits 0 with a loud notice when clang-format is missing, so GCC-only boxes
+# don't fail local hooks; CI's analysis lane installs clang-format and gets
+# the real gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FMT="${CLANG_FORMAT:-clang-format}"
+BASE=""
+FIX=""
+FILES=()
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --base) BASE="$2"; shift 2 ;;
+    --fix) FIX=1; shift ;;
+    -h|--help) sed -n '2,17p' "$0"; exit 0 ;;
+    *) FILES+=("$1"); shift ;;
+  esac
+done
+
+if ! command -v "$FMT" >/dev/null 2>&1; then
+  echo "check_format.sh: NOTICE: $FMT not found — skipping format check" >&2
+  echo "check_format.sh: (CI's analysis lane installs clang-format and enforces)" >&2
+  exit 0
+fi
+
+if [ ${#FILES[@]} -eq 0 ]; then
+  if [ -z "$BASE" ]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      BASE=origin/main
+    else
+      BASE=HEAD~1
+    fi
+  fi
+  mapfile -t FILES < <(git diff --name-only --diff-filter=ACMR "$BASE" -- \
+                         '*.cpp' '*.hpp' '*.h' '*.cc' \
+                         ':!tools/analyze/fixtures/*' | sort -u)
+  if [ ${#FILES[@]} -eq 0 ]; then
+    echo "check_format.sh: no changed C++ files vs $BASE; nothing to check."
+    exit 0
+  fi
+fi
+
+echo "check_format.sh: checking ${#FILES[@]} file(s) with $FMT"
+STATUS=0
+for f in "${FILES[@]}"; do
+  [ -f "$f" ] || continue
+  if [ -n "$FIX" ]; then
+    "$FMT" -i "$f"
+  elif ! "$FMT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "NEEDS FORMAT: $f (run tools/check_format.sh --fix)" >&2
+    STATUS=1
+  fi
+done
+[ $STATUS -eq 0 ] && echo "check_format.sh: all checked files formatted."
+exit $STATUS

@@ -11,7 +11,8 @@
 #   --fix             apply clang-tidy fix-its in place
 #   FILES...          explicit files to lint (overrides --changed)
 #
-# With no file selection, lints every .cpp under src/ and tools/.
+# With no file selection, lints every .cpp under src/, tools/, tests/,
+# bench/, and examples/.
 # Exits 0 with a notice when clang-tidy is not installed, so developer
 # machines without LLVM don't fail local hooks; CI installs clang-tidy and
 # gets the real gate.
@@ -61,13 +62,16 @@ if [ ${#FILES[@]} -eq 0 ]; then
     fi
     # Translation units only; headers get covered via HeaderFilterRegex.
     mapfile -t FILES < <(git diff --name-only --diff-filter=ACMR "$BASE" -- \
-                           'src/*.cpp' 'tools/*.cpp' | sort -u)
+                           'src/*.cpp' 'tools/*.cpp' 'tests/*.cpp' \
+                           'bench/*.cpp' 'examples/*.cpp' | sort -u)
     if [ ${#FILES[@]} -eq 0 ]; then
       echo "run_tidy.sh: no changed .cpp files vs $BASE; nothing to lint."
       exit 0
     fi
   else
-    mapfile -t FILES < <(find src tools -name '*.cpp' | sort)
+    mapfile -t FILES < <(find src tools tests bench examples \
+                           -path tools/analyze/fixtures -prune -o \
+                           -name '*.cpp' -print | sort)
   fi
 fi
 
