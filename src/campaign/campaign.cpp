@@ -1,0 +1,666 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "campaign/fingerprint.hpp"
+#include "runtime/parallel_runner.hpp"
+#include "sim/random.hpp"
+
+namespace conga::campaign {
+
+namespace {
+
+constexpr const char* kRequestSchema = "conga-campaign-request-v1";
+constexpr const char* kReportSchema = "conga-campaign-v1";
+constexpr const char* kStatsSchema = "conga-campaign-stats-v1";
+constexpr const char* kVerdictSchema = "conga-campaign-verdict-v1";
+
+// Strict-parse helpers (same contract as the spec parsers: an unmatched
+// field name is an error, a wrong type is an error).
+struct Reader {
+  std::string& err;
+  bool ok = true;
+  bool fail(const std::string& what) {
+    if (ok) err = what;
+    ok = false;
+    return false;
+  }
+};
+
+bool read_string(Reader& r, const Json& v, const std::string& key,
+                 std::string& out) {
+  if (!v.is_string()) return r.fail("expected string " + key);
+  out = v.as_string();
+  return true;
+}
+
+bool read_i64(Reader& r, const Json& v, const std::string& key,
+              std::int64_t& out) {
+  if (!v.is_integer()) return r.fail("expected integer " + key);
+  out = v.as_int();
+  return true;
+}
+
+bool read_u64(Reader& r, const Json& v, const std::string& key,
+              std::uint64_t& out) {
+  if (!v.is_integer()) return r.fail("expected integer " + key);
+  out = v.as_uint();
+  return true;
+}
+
+bool read_bool(Reader& r, const Json& v, const std::string& key, bool& out) {
+  if (!v.is_bool()) return r.fail("expected bool " + key);
+  out = v.as_bool();
+  return true;
+}
+
+int load_pct_of(const ExperimentSpec& spec) {
+  return static_cast<int>(std::lround(spec.load * 100.0));
+}
+
+/// The verdict's join key: the grid coordinates of a cell, stable across
+/// code changes (cache keys are not — they fold in the fingerprint).
+std::string coordinate_of(const std::string& case_name,
+                          const std::string& policy, int load_pct,
+                          std::uint64_t fabric_seed,
+                          std::uint64_t traffic_seed,
+                          const std::string& fault_profile,
+                          std::uint64_t fault_seed) {
+  return case_name + "|" + policy + "|" + std::to_string(load_pct) + "|" +
+         std::to_string(fabric_seed) + "|" + std::to_string(traffic_seed) +
+         "|" + fault_profile + "|" + std::to_string(fault_seed);
+}
+
+std::string coordinate_of_cell(const Cell& cell) {
+  const ExperimentSpec& s = cell.spec;
+  return coordinate_of(cell.case_name, s.policy, load_pct_of(s),
+                       s.fabric_seed, s.traffic_seed, s.fault.profile,
+                       s.fault.seed);
+}
+
+constexpr std::uint64_t kRecomputedFlag = 1ULL << 63;
+
+}  // namespace
+
+Json json_of_campaign(const CampaignSpec& spec) {
+  Json j = Json::object();
+  j.set("schema", Json::string(kRequestSchema));
+  j.set("name", Json::string(spec.name));
+  j.set("dist", Json::string(spec.dist));
+  Json policies = Json::array();
+  for (const std::string& p : spec.policies) policies.push_back(Json::string(p));
+  j.set("policies", std::move(policies));
+  Json loads = Json::array();
+  for (const int l : spec.loads_pct) loads.push_back(Json::integer(l));
+  j.set("loads_pct", std::move(loads));
+  j.set("min_rto_ns", Json::integer(spec.min_rto_ns));
+  j.set("dctcp", Json::boolean(spec.dctcp));
+  j.set("warmup_ns", Json::integer(spec.warmup_ns));
+  j.set("measure_ns", Json::integer(spec.measure_ns));
+  j.set("max_drain_ns", Json::integer(spec.max_drain_ns));
+  Json seeds = Json::array();
+  for (const SeedPair& s : spec.seeds) {
+    Json e = Json::object();
+    e.set("fabric", Json::uinteger(s.fabric));
+    e.set("traffic", Json::uinteger(s.traffic));
+    seeds.push_back(std::move(e));
+  }
+  j.set("seeds", std::move(seeds));
+  Json faults = Json::array();
+  for (const FaultSpec& f : spec.faults) {
+    Json e = Json::object();
+    e.set("profile", Json::string(f.profile));
+    e.set("seed", Json::uinteger(f.seed));
+    faults.push_back(std::move(e));
+  }
+  j.set("faults", std::move(faults));
+  Json cases = Json::array();
+  for (const CampaignCase& c : spec.cases) {
+    Json e = Json::object();
+    e.set("name", Json::string(c.name));
+    e.set("topo", json_of_topo(c.topo));
+    cases.push_back(std::move(e));
+  }
+  j.set("cases", std::move(cases));
+  return j;
+}
+
+bool campaign_from_json(const Json& doc, CampaignSpec& out, std::string& err) {
+  if (!doc.is_object()) {
+    err = "campaign must be an object";
+    return false;
+  }
+  Reader r{err};
+  CampaignSpec c;
+  for (const auto& [key, v] : doc.members()) {
+    if (key == "schema") {
+      std::string schema;
+      if (read_string(r, v, key, schema) && schema != kRequestSchema) {
+        return r.fail("unsupported campaign schema '" + schema + "'");
+      }
+    } else if (key == "name") read_string(r, v, key, c.name);
+    else if (key == "dist") read_string(r, v, key, c.dist);
+    else if (key == "policies") {
+      if (!v.is_array()) return r.fail("policies must be an array");
+      c.policies.clear();
+      for (const Json& p : v.items()) {
+        std::string name;
+        if (!read_string(r, p, "policy", name)) return false;
+        c.policies.push_back(name);
+      }
+    } else if (key == "loads_pct") {
+      if (!v.is_array()) return r.fail("loads_pct must be an array");
+      c.loads_pct.clear();
+      for (const Json& l : v.items()) {
+        std::int64_t pct = 0;
+        if (!read_i64(r, l, "load_pct", pct)) return false;
+        if (pct <= 0 || pct > 100) return r.fail("load_pct out of (0, 100]");
+        c.loads_pct.push_back(static_cast<int>(pct));
+      }
+    } else if (key == "min_rto_ns") read_i64(r, v, key, c.min_rto_ns);
+    else if (key == "dctcp") read_bool(r, v, key, c.dctcp);
+    else if (key == "warmup_ns") read_i64(r, v, key, c.warmup_ns);
+    else if (key == "measure_ns") read_i64(r, v, key, c.measure_ns);
+    else if (key == "max_drain_ns") read_i64(r, v, key, c.max_drain_ns);
+    else if (key == "seeds") {
+      if (!v.is_array()) return r.fail("seeds must be an array");
+      c.seeds.clear();
+      for (const Json& s : v.items()) {
+        if (!s.is_object()) return r.fail("seed entry must be an object");
+        SeedPair pair;
+        for (const auto& [sk, sv] : s.members()) {
+          if (sk == "fabric") read_u64(r, sv, sk, pair.fabric);
+          else if (sk == "traffic") read_u64(r, sv, sk, pair.traffic);
+          else return r.fail("unknown seed field '" + sk + "'");
+          if (!r.ok) return false;
+        }
+        c.seeds.push_back(pair);
+      }
+    } else if (key == "faults") {
+      if (!v.is_array()) return r.fail("faults must be an array");
+      c.faults.clear();
+      for (const Json& f : v.items()) {
+        if (!f.is_object()) return r.fail("fault entry must be an object");
+        FaultSpec fs;
+        for (const auto& [fk, fv] : f.members()) {
+          if (fk == "profile") read_string(r, fv, fk, fs.profile);
+          else if (fk == "seed") read_u64(r, fv, fk, fs.seed);
+          else return r.fail("unknown fault field '" + fk + "'");
+          if (!r.ok) return false;
+        }
+        c.faults.push_back(fs);
+      }
+    } else if (key == "cases") {
+      if (!v.is_array()) return r.fail("cases must be an array");
+      c.cases.clear();
+      for (const Json& e : v.items()) {
+        if (!e.is_object()) return r.fail("case entry must be an object");
+        CampaignCase cc;
+        bool have_topo = false;
+        for (const auto& [ck, cv] : e.members()) {
+          if (ck == "name") read_string(r, cv, ck, cc.name);
+          else if (ck == "topo") {
+            if (!topo_from_json(cv, cc.topo, err)) return false;
+            have_topo = true;
+          } else {
+            return r.fail("unknown case field '" + ck + "'");
+          }
+          if (!r.ok) return false;
+        }
+        if (cc.name.empty()) return r.fail("case needs a name");
+        if (!have_topo) return r.fail("case '" + cc.name + "' needs a topo");
+        c.cases.push_back(std::move(cc));
+      }
+    } else {
+      return r.fail("unknown campaign field '" + key + "'");
+    }
+    if (!r.ok) return false;
+  }
+  out = std::move(c);
+  return true;
+}
+
+bool parse_campaign(const std::string& text, CampaignSpec& out,
+                    std::string& err) {
+  Json doc;
+  if (!Json::parse(text, doc, err)) return false;
+  return campaign_from_json(doc, out, err);
+}
+
+CampaignSpec make_smoke_campaign() {
+  CampaignSpec c;
+  c.name = "smoke";
+  c.policies = {"ecmp", "conga"};
+  c.loads_pct = {40};
+  net::TopologyConfig topo = net::testbed_baseline();
+  topo.hosts_per_leaf = 8;  // 16 hosts total — seconds, not minutes
+  c.cases.push_back({"testbed", topo});
+  c.warmup_ns = sim::milliseconds(2);
+  c.measure_ns = sim::milliseconds(8);
+  c.max_drain_ns = sim::milliseconds(500);
+  return c;
+}
+
+std::vector<Cell> expand_campaign(const CampaignSpec& spec,
+                                  const std::string& fingerprint) {
+  std::vector<CampaignCase> cases = spec.cases;
+  if (cases.empty()) cases.push_back({"baseline", net::testbed_baseline()});
+  std::vector<Cell> cells;
+  cells.reserve(cases.size() * spec.policies.size() * spec.loads_pct.size() *
+                spec.seeds.size() * spec.faults.size());
+  for (const CampaignCase& cs : cases) {
+    for (const std::string& policy : spec.policies) {
+      for (const int load : spec.loads_pct) {
+        for (const SeedPair& seed : spec.seeds) {
+          for (const FaultSpec& fault : spec.faults) {
+            Cell cell;
+            cell.spec.dist = spec.dist;
+            cell.spec.policy = policy;
+            cell.spec.load = load / 100.0;
+            cell.spec.topo = cs.topo;
+            cell.spec.min_rto_ns = spec.min_rto_ns;
+            cell.spec.dctcp = spec.dctcp;
+            cell.spec.warmup_ns = spec.warmup_ns;
+            cell.spec.measure_ns = spec.measure_ns;
+            cell.spec.max_drain_ns = spec.max_drain_ns;
+            cell.spec.fabric_seed = seed.fabric;
+            cell.spec.traffic_seed = seed.traffic;
+            cell.spec.fault = fault;
+            cell.key = cell_key(cell.spec, fingerprint);
+            cell.case_name = cs.name;
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+bool run_campaign(const CampaignSpec& spec, const RunOptions& opts,
+                  CampaignRun& out, std::string& err) {
+  if (spec.policies.empty() || spec.loads_pct.empty() || spec.seeds.empty() ||
+      spec.faults.empty()) {
+    err = "campaign axes must be non-empty "
+          "(policies, loads_pct, seeds, faults)";
+    return false;
+  }
+  CampaignRun run;
+  run.spec = spec;
+  if (run.spec.cases.empty()) {
+    run.spec.cases.push_back({"baseline", net::testbed_baseline()});
+  }
+  run.fingerprint = code_fingerprint();
+  run.cells = expand_campaign(run.spec, run.fingerprint);
+  const std::size_t n = run.cells.size();
+  run.results.resize(n);
+  run.origins.assign(n, CellOrigin::kComputed);
+  run.stats.cells = n;
+
+  // Phase 1 — lookups, sequential on the main thread (pure file reads).
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (opts.store == nullptr) {
+      misses.push_back(i);
+      continue;
+    }
+    std::string load_err;
+    switch (opts.store->load(run.cells[i].key, run.results[i], load_err)) {
+      case ResultStore::LoadStatus::kHit:
+        run.origins[i] = CellOrigin::kCached;
+        ++run.stats.hits;
+        break;
+      case ResultStore::LoadStatus::kCorrupt:
+        run.origins[i] = CellOrigin::kRecomputed;
+        ++run.stats.corrupt;
+        if (opts.verbose) {
+          std::fprintf(stderr, "campaign: corrupt entry %s (%s); recomputing\n",
+                       run.cells[i].key.c_str(), load_err.c_str());
+        }
+        misses.push_back(i);
+        break;
+      case ResultStore::LoadStatus::kMiss:
+        misses.push_back(i);
+        break;
+    }
+  }
+  run.stats.misses = misses.size();
+  const std::uint64_t writes_before =
+      opts.store != nullptr ? opts.store->writes() : 0;
+
+  // Phase 2 — misses on the parallel runner; each worker owns its whole
+  // simulation and writes its entry back itself (put() is thread-safe).
+  std::mutex progress_mu;
+  try {
+    runtime::parallel_for(misses.size(), opts.jobs, [&](std::size_t mi) {
+      const std::size_t i = misses[mi];
+      const Cell& cell = run.cells[i];
+      workload::ExperimentConfig cfg;
+      std::string cell_err;
+      if (!to_experiment_config(cell.spec, cfg, cell_err)) {
+        throw std::runtime_error("cell " + coordinate_of_cell(cell) + ": " +
+                                 cell_err);
+      }
+      run.results[i] = workload::run_fct_experiment(cfg);
+      if (opts.store != nullptr) {
+        std::string put_err;
+        if (!opts.store->put(cell.key, run.fingerprint,
+                             canonical_json(cell.spec), run.results[i],
+                             put_err)) {
+          throw std::runtime_error(put_err);
+        }
+      }
+      if (opts.verbose) {
+        const std::lock_guard<std::mutex> lock(progress_mu);
+        std::fprintf(stderr, "  [%s: %zu flows, %.0f%% completed]\n",
+                     coordinate_of_cell(cell).c_str(), run.results[i].flows,
+                     run.results[i].completed_fraction * 100);
+      }
+    });
+  } catch (const std::exception& e) {
+    err = e.what();
+    return false;
+  }
+  run.stats.store_writes =
+      opts.store != nullptr ? opts.store->writes() - writes_before : 0;
+
+  // Phase 3 — telemetry, main thread only (the sink is thread-confined).
+  // a: cell index in canonical order, b: FNV-1a of the cell key.
+  if (opts.sink != nullptr) {
+    const telemetry::ComponentId comp =
+        opts.sink->intern_component("campaign/" + run.spec.name);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key_hash = fnv1a64(run.cells[i].key);
+      switch (run.origins[i]) {
+        case CellOrigin::kCached:
+          telemetry::emit(opts.sink, telemetry::EventType::kCampaignCellHit,
+                          comp, 0, i, key_hash);
+          break;
+        case CellOrigin::kComputed:
+          telemetry::emit(opts.sink, telemetry::EventType::kCampaignCellMiss,
+                          comp, 0, i, key_hash);
+          break;
+        case CellOrigin::kRecomputed:
+          telemetry::emit(opts.sink, telemetry::EventType::kCampaignCellMiss,
+                          comp, 0, i, key_hash | kRecomputedFlag);
+          break;
+      }
+      if (run.origins[i] != CellOrigin::kCached && opts.store != nullptr) {
+        telemetry::emit(opts.sink, telemetry::EventType::kCampaignStoreWrite,
+                        comp, 0, i, key_hash);
+      }
+    }
+  }
+
+  out = std::move(run);
+  return true;
+}
+
+std::string report_json(const CampaignRun& run) {
+  Json j = Json::object();
+  j.set("schema", Json::string(kReportSchema));
+  j.set("name", Json::string(run.spec.name));
+  j.set("fingerprint", Json::string(run.fingerprint));
+  j.set("request", json_of_campaign(run.spec));
+  Json cells = Json::array();
+  for (std::size_t i = 0; i < run.cells.size(); ++i) {
+    const Cell& cell = run.cells[i];
+    Json e = Json::object();
+    e.set("case", Json::string(cell.case_name));
+    e.set("policy", Json::string(cell.spec.policy));
+    e.set("load_pct", Json::integer(load_pct_of(cell.spec)));
+    e.set("fabric_seed", Json::uinteger(cell.spec.fabric_seed));
+    e.set("traffic_seed", Json::uinteger(cell.spec.traffic_seed));
+    e.set("fault_profile", Json::string(cell.spec.fault.profile));
+    e.set("fault_seed", Json::uinteger(cell.spec.fault.seed));
+    e.set("key", Json::string(cell.key));
+    e.set("result", json_of_result(run.results[i]));
+    cells.push_back(std::move(e));
+  }
+  j.set("cells", std::move(cells));
+  return j.dump_pretty() + "\n";
+}
+
+Json stats_json(const RunStats& stats) {
+  Json j = Json::object();
+  j.set("schema", Json::string(kStatsSchema));
+  j.set("cells", Json::uinteger(stats.cells));
+  j.set("hits", Json::uinteger(stats.hits));
+  j.set("misses", Json::uinteger(stats.misses));
+  j.set("corrupt", Json::uinteger(stats.corrupt));
+  j.set("store_writes", Json::uinteger(stats.store_writes));
+  return j;
+}
+
+namespace {
+
+/// Pulls the coordinate string and the interesting metrics out of one
+/// report cell; false when the cell is malformed.
+struct ReportCell {
+  std::string coordinate;
+  double avg_norm_fct = 0.0;
+  std::string fct_digest;
+  std::uint64_t reorder_segments = 0;
+};
+
+bool read_report_cell(const Json& e, ReportCell& out, std::string& err) {
+  const Json* case_name = e.find("case");
+  const Json* policy = e.find("policy");
+  const Json* load_pct = e.find("load_pct");
+  const Json* fabric_seed = e.find("fabric_seed");
+  const Json* traffic_seed = e.find("traffic_seed");
+  const Json* fault_profile = e.find("fault_profile");
+  const Json* fault_seed = e.find("fault_seed");
+  const Json* result = e.find("result");
+  if (case_name == nullptr || !case_name->is_string() || policy == nullptr ||
+      !policy->is_string() || load_pct == nullptr ||
+      !load_pct->is_integer() || fabric_seed == nullptr ||
+      !fabric_seed->is_integer() || traffic_seed == nullptr ||
+      !traffic_seed->is_integer() || fault_profile == nullptr ||
+      !fault_profile->is_string() || fault_seed == nullptr ||
+      !fault_seed->is_integer() || result == nullptr || !result->is_object()) {
+    err = "malformed report cell";
+    return false;
+  }
+  out.coordinate = coordinate_of(
+      case_name->as_string(), policy->as_string(),
+      static_cast<int>(load_pct->as_int()), fabric_seed->as_uint(),
+      traffic_seed->as_uint(), fault_profile->as_string(),
+      fault_seed->as_uint());
+  const Json* fct = result->find("avg_norm_fct");
+  const Json* digest = result->find("fct_digest");
+  const Json* reorder = result->find("reorder_segments");
+  if (fct == nullptr || !fct->is_number() || digest == nullptr ||
+      !digest->is_string() || reorder == nullptr || !reorder->is_integer()) {
+    err = "report cell result missing avg_norm_fct/fct_digest/"
+          "reorder_segments";
+    return false;
+  }
+  out.avg_norm_fct = fct->as_double();
+  out.fct_digest = digest->as_string();
+  out.reorder_segments = reorder->as_uint();
+  return true;
+}
+
+bool read_report(const Json& doc, std::vector<ReportCell>& out,
+                 std::string& fingerprint, std::string& err) {
+  const Json* schema = doc.find("schema");
+  if (!doc.is_object() || schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kReportSchema) {
+    err = "not a conga-campaign-v1 report";
+    return false;
+  }
+  const Json* fp = doc.find("fingerprint");
+  fingerprint = fp != nullptr && fp->is_string() ? fp->as_string() : "";
+  const Json* cells = doc.find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    err = "report has no cells array";
+    return false;
+  }
+  out.clear();
+  for (const Json& e : cells->items()) {
+    ReportCell cell;
+    if (!read_report_cell(e, cell, err)) return false;
+    out.push_back(std::move(cell));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool make_verdict(const Json& report, const Json& baseline,
+                  const VerdictOptions& opts, Json& out, std::string& err) {
+  std::vector<ReportCell> cur_cells;
+  std::vector<ReportCell> base_cells;
+  std::string cur_fp;
+  std::string base_fp;
+  if (!read_report(report, cur_cells, cur_fp, err)) {
+    err = "report: " + err;
+    return false;
+  }
+  if (!read_report(baseline, base_cells, base_fp, err)) {
+    err = "baseline: " + err;
+    return false;
+  }
+
+  // Coordinate -> baseline cell. std::map, not unordered: verdict cell
+  // order must be deterministic (the conga-lint iteration rule).
+  std::map<std::string, const ReportCell*> base_by_coord;
+  for (const ReportCell& c : base_cells) base_by_coord[c.coordinate] = &c;
+
+  Json cells = Json::array();
+  Json missing = Json::array();
+  std::uint64_t regressions = 0;
+  std::uint64_t improvements = 0;
+  for (const ReportCell& cur : cur_cells) {
+    const auto it = base_by_coord.find(cur.coordinate);
+    if (it == base_by_coord.end()) {
+      missing.push_back(Json::string(cur.coordinate));
+      continue;
+    }
+    const ReportCell& base = *it->second;
+    const double rel_delta =
+        base.avg_norm_fct != 0.0
+            ? (cur.avg_norm_fct - base.avg_norm_fct) / base.avg_norm_fct
+            : (cur.avg_norm_fct != 0.0 ? 1.0 : 0.0);
+    const bool fct_regression = rel_delta > opts.rel_fct_tolerance;
+    const bool fct_improvement = rel_delta < -opts.rel_fct_tolerance;
+    const bool reorder_regression =
+        cur.reorder_segments > base.reorder_segments &&
+        (base.reorder_segments == 0 ||
+         static_cast<double>(cur.reorder_segments - base.reorder_segments) /
+                 static_cast<double>(base.reorder_segments) >
+             opts.rel_fct_tolerance);
+    if (fct_regression || reorder_regression) ++regressions;
+    if (fct_improvement && !reorder_regression) ++improvements;
+
+    Json e = Json::object();
+    e.set("coordinate", Json::string(cur.coordinate));
+    e.set("avg_norm_fct", Json::number(cur.avg_norm_fct));
+    e.set("baseline_avg_norm_fct", Json::number(base.avg_norm_fct));
+    e.set("rel_delta", Json::number(rel_delta));
+    e.set("fct_digest_changed",
+          Json::boolean(cur.fct_digest != base.fct_digest));
+    e.set("reorder_segments", Json::uinteger(cur.reorder_segments));
+    e.set("baseline_reorder_segments", Json::uinteger(base.reorder_segments));
+    e.set("status",
+          Json::string(fct_regression || reorder_regression ? "regression"
+                       : fct_improvement                    ? "improvement"
+                                                            : "ok"));
+    cells.push_back(std::move(e));
+  }
+
+  Json v = Json::object();
+  v.set("schema", Json::string(kVerdictSchema));
+  v.set("fingerprint", Json::string(cur_fp));
+  v.set("baseline_fingerprint", Json::string(base_fp));
+  v.set("rel_fct_tolerance", Json::number(opts.rel_fct_tolerance));
+  v.set("regressions", Json::uinteger(regressions));
+  v.set("improvements", Json::uinteger(improvements));
+  v.set("cells", std::move(cells));
+  v.set("missing_baseline", std::move(missing));
+  out = std::move(v);
+  return true;
+}
+
+bool verdict_pass(const Json& verdict) {
+  const Json* schema = verdict.find("schema");
+  const Json* regressions = verdict.find("regressions");
+  return verdict.is_object() && schema != nullptr && schema->is_string() &&
+         schema->as_string() == kVerdictSchema && regressions != nullptr &&
+         regressions->is_integer() && regressions->as_uint() == 0;
+}
+
+bool verify_sample(const CampaignRun& run, double fraction, int jobs,
+                   telemetry::TraceSink* sink, VerifyOutcome& out,
+                   std::string& err) {
+  out = VerifyOutcome{};
+  if (!(fraction > 0.0)) return true;
+  if (fraction > 1.0) fraction = 1.0;
+
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < run.cells.size(); ++i) {
+    if (run.origins[i] == CellOrigin::kCached) hits.push_back(i);
+  }
+  if (hits.empty()) return true;
+
+  // Deterministic sample: keyed off the fingerprint and campaign name, so a
+  // rerun of the same campaign on the same build re-verifies the same cells
+  // (and a new build rotates the sample).
+  sim::Rng rng(fnv1a64(run.fingerprint + "|" + run.spec.name));
+  sim::shuffle(hits, rng);
+  const std::size_t want = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(fraction * static_cast<double>(hits.size()))));
+  hits.resize(std::min(want, hits.size()));
+
+  std::vector<std::uint8_t> mismatched;
+  try {
+    mismatched = runtime::parallel_map<std::uint8_t>(
+        hits.size(), jobs, [&](std::size_t si) -> std::uint8_t {
+          const std::size_t i = hits[si];
+          const Cell& cell = run.cells[i];
+          workload::ExperimentConfig cfg;
+          std::string cell_err;
+          if (!to_experiment_config(cell.spec, cfg, cell_err)) {
+            throw std::runtime_error("cell " + coordinate_of_cell(cell) +
+                                     ": " + cell_err);
+          }
+          const workload::ExperimentResult fresh =
+              workload::run_fct_experiment(cfg);
+          return json_of_result(fresh).dump() !=
+                         json_of_result(run.results[i]).dump()
+                     ? 1
+                     : 0;
+        });
+  } catch (const std::exception& e) {
+    err = e.what();
+    return false;
+  }
+
+  const telemetry::ComponentId comp =
+      sink != nullptr ? sink->intern_component("campaign/" + run.spec.name)
+                      : telemetry::kInvalidComponent;
+  for (std::size_t si = 0; si < hits.size(); ++si) {
+    const std::size_t i = hits[si];
+    const std::uint64_t key_hash = fnv1a64(run.cells[i].key);
+    telemetry::emit(sink, telemetry::EventType::kCampaignVerifyRecompute,
+                    comp, 0, i,
+                    mismatched[si] != 0 ? (key_hash | kRecomputedFlag)
+                                        : key_hash);
+    ++out.sampled;
+    if (mismatched[si] != 0) {
+      ++out.mismatched;
+      out.poisoned_keys.push_back(run.cells[i].key);
+    }
+  }
+  return true;
+}
+
+}  // namespace conga::campaign

@@ -1,0 +1,480 @@
+#include "campaign/experiment_spec.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "lb_ext/policies.hpp"
+#include "sim/random.hpp"
+#include "stats/digest.hpp"
+#include "tcp/flow.hpp"
+#include "workload/flow_size_dist.hpp"
+
+namespace conga::campaign {
+
+namespace {
+
+constexpr const char* kSpecSchema = "conga-cell-spec-v1";
+
+Json json_of_override(const net::LinkOverride& o) {
+  Json j = Json::object();
+  j.set("leaf", Json::integer(o.leaf));
+  j.set("spine", Json::integer(o.spine));
+  j.set("parallel", Json::integer(o.parallel));
+  j.set("rate_factor", Json::number(o.rate_factor));
+  return j;
+}
+
+}  // namespace
+
+Json json_of_topo(const net::TopologyConfig& t) {
+  Json j = Json::object();
+  j.set("num_leaves", Json::integer(t.num_leaves));
+  j.set("num_spines", Json::integer(t.num_spines));
+  j.set("hosts_per_leaf", Json::integer(t.hosts_per_leaf));
+  j.set("links_per_spine", Json::integer(t.links_per_spine));
+  j.set("host_link_bps", Json::number(t.host_link_bps));
+  j.set("fabric_link_bps", Json::number(t.fabric_link_bps));
+  j.set("host_link_delay_ns", Json::integer(t.host_link_delay));
+  j.set("fabric_link_delay_ns", Json::integer(t.fabric_link_delay));
+  j.set("edge_queue_bytes", Json::uinteger(t.edge_queue_bytes));
+  j.set("fabric_queue_bytes", Json::uinteger(t.fabric_queue_bytes));
+  j.set("nic_queue_bytes", Json::uinteger(t.nic_queue_bytes));
+  Json dre = Json::object();
+  dre.set("t_dre_ns", Json::integer(t.dre.t_dre));
+  dre.set("alpha", Json::number(t.dre.alpha));
+  dre.set("q_bits", Json::integer(t.dre.q_bits));
+  j.set("dre", std::move(dre));
+  j.set("ce_sum", Json::boolean(t.ce_sum));
+  j.set("ecn_threshold_bytes", Json::uinteger(t.ecn_threshold_bytes));
+  j.set("shared_buffer_bytes", Json::uinteger(t.shared_buffer_bytes));
+  j.set("shared_buffer_alpha", Json::number(t.shared_buffer_alpha));
+  Json ovr = Json::array();
+  for (const net::LinkOverride& o : t.overrides) {
+    ovr.push_back(json_of_override(o));
+  }
+  j.set("overrides", std::move(ovr));
+  return j;
+}
+
+namespace {
+
+// --- strict field extraction -------------------------------------------------
+// Every parser walks the object's members and dispatches by name; an
+// unmatched name is an error (a typo must not hash to a fresh cell key).
+
+struct FieldReader {
+  const Json& doc;
+  std::string& err;
+  bool ok = true;
+
+  bool fail(const std::string& what) {
+    if (ok) err = what;
+    ok = false;
+    return false;
+  }
+
+  bool want(const Json& v, Json::Kind kind, const char* key) {
+    if (kind == Json::Kind::kDouble ? !v.is_number() : v.kind() != kind) {
+      return fail(std::string("field '") + key + "' has the wrong type");
+    }
+    return true;
+  }
+};
+
+bool read_int(FieldReader& r, const Json& v, const char* key, int& out) {
+  if (!v.is_integer()) return r.fail(std::string("expected integer ") + key);
+  out = static_cast<int>(v.as_int());
+  return true;
+}
+
+bool read_i64(FieldReader& r, const Json& v, const char* key,
+              std::int64_t& out) {
+  if (!v.is_integer()) return r.fail(std::string("expected integer ") + key);
+  out = v.as_int();
+  return true;
+}
+
+bool read_u64(FieldReader& r, const Json& v, const char* key,
+              std::uint64_t& out) {
+  if (!v.is_integer()) return r.fail(std::string("expected integer ") + key);
+  out = v.as_uint();
+  return true;
+}
+
+bool read_double(FieldReader& r, const Json& v, const char* key,
+                 double& out) {
+  if (!v.is_number()) return r.fail(std::string("expected number ") + key);
+  out = v.as_double();
+  return true;
+}
+
+bool read_bool(FieldReader& r, const Json& v, const char* key, bool& out) {
+  if (!v.is_bool()) return r.fail(std::string("expected bool ") + key);
+  out = v.as_bool();
+  return true;
+}
+
+bool read_string(FieldReader& r, const Json& v, const char* key,
+                 std::string& out) {
+  if (!v.is_string()) return r.fail(std::string("expected string ") + key);
+  out = v.as_string();
+  return true;
+}
+
+}  // namespace
+
+bool topo_from_json(const Json& doc, net::TopologyConfig& out,
+                    std::string& err) {
+  if (!doc.is_object()) {
+    err = "topo must be an object";
+    return false;
+  }
+  FieldReader r{doc, err};
+  net::TopologyConfig t;
+  for (const auto& [key, v] : doc.members()) {
+    if (key == "num_leaves") read_int(r, v, key.c_str(), t.num_leaves);
+    else if (key == "num_spines") read_int(r, v, key.c_str(), t.num_spines);
+    else if (key == "hosts_per_leaf")
+      read_int(r, v, key.c_str(), t.hosts_per_leaf);
+    else if (key == "links_per_spine")
+      read_int(r, v, key.c_str(), t.links_per_spine);
+    else if (key == "host_link_bps")
+      read_double(r, v, key.c_str(), t.host_link_bps);
+    else if (key == "fabric_link_bps")
+      read_double(r, v, key.c_str(), t.fabric_link_bps);
+    else if (key == "host_link_delay_ns")
+      read_i64(r, v, key.c_str(), t.host_link_delay);
+    else if (key == "fabric_link_delay_ns")
+      read_i64(r, v, key.c_str(), t.fabric_link_delay);
+    else if (key == "edge_queue_bytes")
+      read_u64(r, v, key.c_str(), t.edge_queue_bytes);
+    else if (key == "fabric_queue_bytes")
+      read_u64(r, v, key.c_str(), t.fabric_queue_bytes);
+    else if (key == "nic_queue_bytes")
+      read_u64(r, v, key.c_str(), t.nic_queue_bytes);
+    else if (key == "dre") {
+      if (!v.is_object()) return r.fail("dre must be an object");
+      for (const auto& [dk, dv] : v.members()) {
+        if (dk == "t_dre_ns") read_i64(r, dv, dk.c_str(), t.dre.t_dre);
+        else if (dk == "alpha") read_double(r, dv, dk.c_str(), t.dre.alpha);
+        else if (dk == "q_bits") read_int(r, dv, dk.c_str(), t.dre.q_bits);
+        else return r.fail("unknown dre field '" + dk + "'");
+      }
+    } else if (key == "ce_sum") read_bool(r, v, key.c_str(), t.ce_sum);
+    else if (key == "ecn_threshold_bytes")
+      read_u64(r, v, key.c_str(), t.ecn_threshold_bytes);
+    else if (key == "shared_buffer_bytes")
+      read_u64(r, v, key.c_str(), t.shared_buffer_bytes);
+    else if (key == "shared_buffer_alpha")
+      read_double(r, v, key.c_str(), t.shared_buffer_alpha);
+    else if (key == "overrides") {
+      if (!v.is_array()) return r.fail("overrides must be an array");
+      for (const Json& item : v.items()) {
+        if (!item.is_object()) return r.fail("override must be an object");
+        net::LinkOverride o;
+        for (const auto& [ok_, ov] : item.members()) {
+          if (ok_ == "leaf") read_int(r, ov, ok_.c_str(), o.leaf);
+          else if (ok_ == "spine") read_int(r, ov, ok_.c_str(), o.spine);
+          else if (ok_ == "parallel")
+            read_int(r, ov, ok_.c_str(), o.parallel);
+          else if (ok_ == "rate_factor")
+            read_double(r, ov, ok_.c_str(), o.rate_factor);
+          else return r.fail("unknown override field '" + ok_ + "'");
+        }
+        t.overrides.push_back(o);
+      }
+    } else {
+      return r.fail("unknown topo field '" + key + "'");
+    }
+    if (!r.ok) return false;
+  }
+  out = t;
+  return true;
+}
+
+Json json_of_spec(const ExperimentSpec& spec) {
+  Json j = Json::object();
+  j.set("schema", Json::string(kSpecSchema));
+  j.set("dist", Json::string(spec.dist));
+  j.set("policy", Json::string(spec.policy));
+  j.set("load", Json::number(spec.load));
+  j.set("min_rto_ns", Json::integer(spec.min_rto_ns));
+  j.set("dctcp", Json::boolean(spec.dctcp));
+  j.set("warmup_ns", Json::integer(spec.warmup_ns));
+  j.set("measure_ns", Json::integer(spec.measure_ns));
+  j.set("max_drain_ns", Json::integer(spec.max_drain_ns));
+  j.set("fabric_seed", Json::uinteger(spec.fabric_seed));
+  j.set("traffic_seed", Json::uinteger(spec.traffic_seed));
+  Json fault = Json::object();
+  fault.set("profile", Json::string(spec.fault.profile));
+  fault.set("seed", Json::uinteger(spec.fault.seed));
+  j.set("fault", std::move(fault));
+  j.set("topo", json_of_topo(spec.topo));
+  return j;
+}
+
+std::string canonical_json(const ExperimentSpec& spec) {
+  return json_of_spec(spec).dump();
+}
+
+bool spec_from_json(const Json& doc, ExperimentSpec& out, std::string& err) {
+  if (!doc.is_object()) {
+    err = "spec must be an object";
+    return false;
+  }
+  FieldReader r{doc, err};
+  ExperimentSpec s;
+  for (const auto& [key, v] : doc.members()) {
+    if (key == "schema") {
+      std::string schema;
+      if (read_string(r, v, key.c_str(), schema) && schema != kSpecSchema) {
+        return r.fail("unsupported spec schema '" + schema + "'");
+      }
+    } else if (key == "dist") read_string(r, v, key.c_str(), s.dist);
+    else if (key == "policy") read_string(r, v, key.c_str(), s.policy);
+    else if (key == "load") read_double(r, v, key.c_str(), s.load);
+    else if (key == "min_rto_ns") read_i64(r, v, key.c_str(), s.min_rto_ns);
+    else if (key == "dctcp") read_bool(r, v, key.c_str(), s.dctcp);
+    else if (key == "warmup_ns") read_i64(r, v, key.c_str(), s.warmup_ns);
+    else if (key == "measure_ns") read_i64(r, v, key.c_str(), s.measure_ns);
+    else if (key == "max_drain_ns")
+      read_i64(r, v, key.c_str(), s.max_drain_ns);
+    else if (key == "fabric_seed")
+      read_u64(r, v, key.c_str(), s.fabric_seed);
+    else if (key == "traffic_seed")
+      read_u64(r, v, key.c_str(), s.traffic_seed);
+    else if (key == "fault") {
+      if (!v.is_object()) return r.fail("fault must be an object");
+      for (const auto& [fk, fv] : v.members()) {
+        if (fk == "profile")
+          read_string(r, fv, fk.c_str(), s.fault.profile);
+        else if (fk == "seed") read_u64(r, fv, fk.c_str(), s.fault.seed);
+        else return r.fail("unknown fault field '" + fk + "'");
+      }
+    } else if (key == "topo") {
+      if (!topo_from_json(v, s.topo, err)) return false;
+    } else {
+      return r.fail("unknown spec field '" + key + "'");
+    }
+    if (!r.ok) return false;
+  }
+  out = s;
+  return true;
+}
+
+bool parse_spec(const std::string& text, ExperimentSpec& out,
+                std::string& err) {
+  Json doc;
+  if (!Json::parse(text, doc, err)) return false;
+  return spec_from_json(doc, out, err);
+}
+
+std::string cell_key(const ExperimentSpec& spec,
+                     const std::string& fingerprint) {
+  const std::string keyed = canonical_json(spec) + "\n" + fingerprint;
+  stats::TraceDigest stream;
+  for (const char c : keyed) stream.add(static_cast<unsigned char>(c));
+  return hex64(fnv1a64(keyed)) + hex64(stream.value());
+}
+
+namespace {
+
+const workload::FlowSizeDist* find_builtin_dist(const std::string& name) {
+  if (name == "enterprise") return &workload::enterprise();
+  if (name == "datamining") return &workload::data_mining();
+  if (name == "websearch") return &workload::web_search();
+  return nullptr;
+}
+
+/// The chaos_audit gray profile: 2-3 gray-failure links drawn from the fault
+/// seed, covering the whole measurement window.
+fault::FaultPlan make_gray_plan(const net::TopologyConfig& topo,
+                                std::uint64_t seed, sim::TimeNs horizon) {
+  sim::Rng rng(seed);
+  fault::FaultPlan plan;
+  const int n = static_cast<int>(rng.uniform_int(2, 3));
+  for (int i = 0; i < n; ++i) {
+    fault::GrayFailureSpec s;
+    s.leaf = static_cast<int>(rng.uniform_int(0, topo.num_leaves - 1));
+    s.spine = static_cast<int>(rng.uniform_int(0, topo.num_spines - 1));
+    s.parallel =
+        static_cast<int>(rng.uniform_int(0, topo.links_per_spine - 1));
+    s.drop_prob = rng.uniform(0.005, 0.03);
+    s.corrupt_prob = rng.uniform(0.0, 0.01);
+    s.start = 0;
+    s.stop = horizon;
+    plan.add(s);
+  }
+  return plan;
+}
+
+}  // namespace
+
+bool to_experiment_config(const ExperimentSpec& spec,
+                          workload::ExperimentConfig& out, std::string& err) {
+  const lb_ext::PolicyInfo* info = lb_ext::find_policy(spec.policy);
+  if (info == nullptr) {
+    err = "unknown policy '" + spec.policy +
+          "' (registered: " + lb_ext::policy_names() + ")";
+    return false;
+  }
+  workload::ExperimentConfig cfg;
+  if (spec.dist.rfind("fixed:", 0) == 0) {
+    const double bytes = std::strtod(spec.dist.c_str() + 6, nullptr);
+    if (!(bytes >= 1)) {
+      err = "bad fixed distribution '" + spec.dist + "'";
+      return false;
+    }
+    cfg.dist = workload::fixed_size(bytes);
+  } else if (const workload::FlowSizeDist* d = find_builtin_dist(spec.dist)) {
+    cfg.dist = *d;
+  } else {
+    err = "unknown distribution '" + spec.dist +
+          "' (enterprise|datamining|websearch|fixed:<bytes>)";
+    return false;
+  }
+  if (!(spec.load > 0.0) || spec.load > 1.0) {
+    err = "load must be in (0, 1]";
+    return false;
+  }
+  const std::string topo_err = spec.topo.validate();
+  if (!topo_err.empty()) {
+    err = "topo: " + topo_err;
+    return false;
+  }
+  if (spec.warmup_ns < 0 || spec.measure_ns <= 0 || spec.max_drain_ns < 0) {
+    err = "windows must be non-negative (measure > 0)";
+    return false;
+  }
+
+  const sim::TimeNs horizon = spec.warmup_ns + spec.measure_ns;
+  fault::FaultPlan plan;
+  if (spec.fault.profile == "random") {
+    fault::RandomPlanConfig rc;
+    rc.horizon = horizon;
+    plan = fault::make_random_plan(spec.topo, spec.fault.seed, rc);
+  } else if (spec.fault.profile == "gray") {
+    plan = make_gray_plan(spec.topo, spec.fault.seed, horizon);
+  } else if (spec.fault.profile != "none") {
+    err = "unknown fault profile '" + spec.fault.profile +
+          "' (none|random|gray)";
+    return false;
+  }
+
+  cfg.topo = spec.topo;
+  cfg.load = spec.load;
+  tcp::TcpConfig tcp_cfg;
+  tcp_cfg.min_rto = spec.min_rto_ns;
+  tcp_cfg.dctcp = spec.dctcp;
+  cfg.transport = tcp::make_tcp_flow_factory(tcp_cfg);
+  cfg.lb = lb_ext::make_policy(spec.policy);
+  cfg.warmup = spec.warmup_ns;
+  cfg.measure = spec.measure_ns;
+  cfg.max_drain = spec.max_drain_ns;
+  cfg.fabric_seed = spec.fabric_seed;
+  cfg.traffic_seed = spec.traffic_seed;
+
+  const bool spine_drill = info->spine_drill;
+  if (spine_drill || !plan.empty()) {
+    // The holder keeps the injector alive for as long as the returned config
+    // (run_fct_experiment's callers hold the config through the run).
+    auto holder = std::make_shared<std::unique_ptr<fault::FaultInjector>>();
+    const std::uint64_t fault_seed = spec.fault.seed;
+    cfg.fabric_hook = [spine_drill, plan, fault_seed,
+                       holder](net::Fabric& f) {
+      if (spine_drill) f.set_spine_drill(true);
+      if (!plan.empty()) {
+        *holder = std::make_unique<fault::FaultInjector>(f, fault_seed);
+        (*holder)->arm(plan);
+      }
+    };
+  }
+  out = std::move(cfg);
+  return true;
+}
+
+Json json_of_result(const workload::ExperimentResult& r) {
+  Json j = Json::object();
+  j.set("avg_norm_fct", Json::number(r.avg_norm_fct));
+  j.set("median_norm_fct", Json::number(r.median_norm_fct));
+  j.set("p99_norm_fct", Json::number(r.p99_norm_fct));
+  j.set("avg_fct_small", Json::number(r.avg_fct_small));
+  j.set("avg_fct_large", Json::number(r.avg_fct_large));
+  j.set("avg_fct_overall", Json::number(r.avg_fct_overall));
+  j.set("flows", Json::uinteger(r.flows));
+  j.set("small_flows", Json::uinteger(r.small_flows));
+  j.set("large_flows", Json::uinteger(r.large_flows));
+  j.set("completed_fraction", Json::number(r.completed_fraction));
+  j.set("drained", Json::boolean(r.drained));
+  j.set("unfinished_flows", Json::uinteger(r.unfinished_flows));
+  j.set("bytes_outstanding", Json::uinteger(r.bytes_outstanding));
+  j.set("fct_digest", Json::string(hex64(r.fct_digest)));
+  j.set("reorder_segments", Json::uinteger(r.reorder_segments));
+  j.set("reorder_max_distance", Json::uinteger(r.reorder_max_distance));
+  j.set("reordered_flows", Json::uinteger(r.reordered_flows));
+  j.set("probes_sent", Json::uinteger(r.probes_sent));
+  j.set("probes_received", Json::uinteger(r.probes_received));
+  return j;
+}
+
+bool result_from_json(const Json& doc, workload::ExperimentResult& out,
+                      std::string& err) {
+  if (!doc.is_object()) {
+    err = "result must be an object";
+    return false;
+  }
+  FieldReader r{doc, err};
+  workload::ExperimentResult res;
+  std::uint64_t tmp = 0;
+  for (const auto& [key, v] : doc.members()) {
+    if (key == "avg_norm_fct") read_double(r, v, key.c_str(), res.avg_norm_fct);
+    else if (key == "median_norm_fct")
+      read_double(r, v, key.c_str(), res.median_norm_fct);
+    else if (key == "p99_norm_fct")
+      read_double(r, v, key.c_str(), res.p99_norm_fct);
+    else if (key == "avg_fct_small")
+      read_double(r, v, key.c_str(), res.avg_fct_small);
+    else if (key == "avg_fct_large")
+      read_double(r, v, key.c_str(), res.avg_fct_large);
+    else if (key == "avg_fct_overall")
+      read_double(r, v, key.c_str(), res.avg_fct_overall);
+    else if (key == "flows") {
+      if (read_u64(r, v, key.c_str(), tmp)) res.flows = tmp;
+    } else if (key == "small_flows") {
+      if (read_u64(r, v, key.c_str(), tmp)) res.small_flows = tmp;
+    } else if (key == "large_flows") {
+      if (read_u64(r, v, key.c_str(), tmp)) res.large_flows = tmp;
+    } else if (key == "completed_fraction")
+      read_double(r, v, key.c_str(), res.completed_fraction);
+    else if (key == "drained") read_bool(r, v, key.c_str(), res.drained);
+    else if (key == "unfinished_flows") {
+      if (read_u64(r, v, key.c_str(), tmp)) res.unfinished_flows = tmp;
+    } else if (key == "bytes_outstanding")
+      read_u64(r, v, key.c_str(), res.bytes_outstanding);
+    else if (key == "fct_digest") {
+      std::string hex;
+      if (read_string(r, v, key.c_str(), hex)) {
+        res.fct_digest = std::strtoull(hex.c_str(), nullptr, 16);
+      }
+    } else if (key == "reorder_segments")
+      read_u64(r, v, key.c_str(), res.reorder_segments);
+    else if (key == "reorder_max_distance")
+      read_u64(r, v, key.c_str(), res.reorder_max_distance);
+    else if (key == "reordered_flows")
+      read_u64(r, v, key.c_str(), res.reordered_flows);
+    else if (key == "probes_sent")
+      read_u64(r, v, key.c_str(), res.probes_sent);
+    else if (key == "probes_received")
+      read_u64(r, v, key.c_str(), res.probes_received);
+    else
+      return r.fail("unknown result field '" + key + "'");
+    if (!r.ok) return false;
+  }
+  out = res;
+  return true;
+}
+
+}  // namespace conga::campaign

@@ -1,0 +1,105 @@
+// Declarative experiment cell specification — the campaign service's unit of
+// caching.
+//
+// workload::ExperimentConfig holds function-valued members (the transport
+// factory, the LB factory, the fabric hook), so it cannot be hashed or
+// stored. ExperimentSpec is its declarative mirror: every axis the sweeps
+// vary, expressed as plain data — the policy by its registry name, the
+// distribution by name, the topology as the (already declarative)
+// TopologyConfig, faults as a named profile plus seed. A spec expands to an
+// ExperimentConfig via the policy/distribution registries, and serializes to
+// *canonical JSON*: one fixed field order, shortest-round-trip doubles, no
+// whitespace — the byte sequence the content-addressed store keys on.
+//
+// Canonical contract (tests/campaign_test.cpp enforces it):
+//   parse(canonical_json(s)) == s  and  canonical_json(parse(text)) is
+//   byte-identical for any field ordering of `text`. Unknown fields are a
+//   parse error (a typo must not silently hash to a fresh cell); absent
+//   fields take the documented defaults (so adding a field with its old
+//   behaviour as default does not invalidate existing cells... the code
+//   fingerprint already does).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/json.hpp"
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+#include "workload/experiment.hpp"
+
+namespace conga::campaign {
+
+/// Fault axis of a cell: a named profile executed off a keyed seed.
+///  * "none"   — no injector (bit-identical to a run without one).
+///  * "random" — fault::make_random_plan over the cell's topology.
+///  * "gray"   — 2-3 gray-failure links (loss + corruption the control plane
+///               never hears about), the chaos_audit gray profile.
+struct FaultSpec {
+  std::string profile = "none";
+  std::uint64_t seed = 1;
+
+  bool operator==(const FaultSpec&) const = default;
+};
+
+struct ExperimentSpec {
+  std::string dist = "enterprise";  ///< enterprise|datamining|websearch|fixed:<bytes>
+  std::string policy = "conga";     ///< lb_ext policy-registry name
+  double load = 0.6;                ///< offered load fraction in (0, 1]
+  net::TopologyConfig topo;
+
+  // Transport knobs the sweeps vary (the rest of TcpConfig is fixed; a new
+  // knob becomes a new field with the old value as default).
+  sim::TimeNs min_rto_ns = sim::milliseconds(200);
+  bool dctcp = false;
+
+  sim::TimeNs warmup_ns = sim::milliseconds(10);
+  sim::TimeNs measure_ns = sim::milliseconds(40);
+  sim::TimeNs max_drain_ns = sim::seconds(1.0);
+
+  std::uint64_t fabric_seed = 1;
+  std::uint64_t traffic_seed = 7;
+
+  FaultSpec fault;
+};
+
+/// Topology <-> canonical document (shared by cell specs and campaign
+/// requests; same strict-parse contract as specs).
+Json json_of_topo(const net::TopologyConfig& topo);
+bool topo_from_json(const Json& doc, net::TopologyConfig& out,
+                    std::string& err);
+
+/// Spec -> canonical JSON document (fixed member order).
+Json json_of_spec(const ExperimentSpec& spec);
+/// Spec -> canonical JSON bytes (compact dump of json_of_spec).
+std::string canonical_json(const ExperimentSpec& spec);
+
+/// Strict parse from a document: fields in any order, unknown fields are an
+/// error, absent fields keep defaults. Returns false and sets `err`.
+bool spec_from_json(const Json& doc, ExperimentSpec& out, std::string& err);
+/// Convenience: text -> spec.
+bool parse_spec(const std::string& text, ExperimentSpec& out,
+                std::string& err);
+
+/// Content-addressed cache key: 32 lowercase hex chars over the canonical
+/// spec bytes and the build fingerprint (two independent 64-bit hashes — a
+/// collision must fool both).
+std::string cell_key(const ExperimentSpec& spec,
+                     const std::string& fingerprint);
+
+/// Expands the spec to a runnable config, resolving the policy and
+/// distribution registries and arming the fault profile (the returned
+/// config's fabric_hook owns the injector; keep the config alive through the
+/// run, as run_fct_experiment's callers do). Returns false and sets `err`
+/// for unknown names or invalid parameters; `out` is untouched on failure.
+bool to_experiment_config(const ExperimentSpec& spec,
+                          workload::ExperimentConfig& out, std::string& err);
+
+/// Serializes a result into the store's canonical payload object (fixed
+/// member order; doubles in shortest-round-trip form).
+Json json_of_result(const workload::ExperimentResult& r);
+/// Strict inverse of json_of_result (same contract as spec_from_json).
+bool result_from_json(const Json& doc, workload::ExperimentResult& out,
+                      std::string& err);
+
+}  // namespace conga::campaign

@@ -1,0 +1,36 @@
+#include "campaign/fingerprint.hpp"
+
+#include <cstdlib>
+
+#include "telemetry/telemetry.hpp"
+
+// Generated into ${CMAKE_BINARY_DIR}/generated on every build; defines
+// kCongaSourceDigest (see tools/cmake/gen_fingerprint.cmake).
+#include "campaign_fingerprint.inc"
+
+namespace conga::campaign {
+
+std::string source_digest() { return kCongaSourceDigest; }
+
+std::string code_fingerprint() {
+  const char* env = std::getenv("CONGA_CODE_FINGERPRINT");
+  if (env != nullptr && env[0] != '\0') return env;
+  std::string fp = "src:";
+  fp += kCongaSourceDigest;
+  fp += "|cxx:";
+  fp += __VERSION__;
+#ifdef NDEBUG
+  fp += "|ndebug:1";
+#else
+  fp += "|ndebug:0";
+#endif
+  fp += telemetry::compiled_in() ? "|tele:1" : "|tele:0";
+#ifdef CONGA_CHECK_INVARIANTS
+  fp += "|inv:1";
+#else
+  fp += "|inv:0";
+#endif
+  return fp;
+}
+
+}  // namespace conga::campaign

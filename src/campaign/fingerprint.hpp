@@ -1,0 +1,26 @@
+// Build/code fingerprint for campaign cache keys.
+//
+// A cached cell is only reusable while the code that produced it would
+// reproduce it bit-for-bit, so every cache key folds in a fingerprint of the
+// build: a content digest over the simulator sources (regenerated on every
+// build by tools/cmake/gen_fingerprint.cmake), the compiler version, and the
+// compile-time gates that change simulation behaviour (NDEBUG, telemetry,
+// invariant hooks). Any change to any of them invalidates every cell.
+//
+// The CONGA_CODE_FINGERPRINT environment variable overrides the computed
+// value — tests use it to prove invalidation, and reproducible pipelines can
+// pin it across identical builds on different hosts.
+#pragma once
+
+#include <string>
+
+namespace conga::campaign {
+
+/// The fingerprint folded into every cache key. Reads the environment
+/// override on each call (cheap; campaigns call it once per run).
+std::string code_fingerprint();
+
+/// The source-tree content digest alone (hex), for report metadata.
+std::string source_digest();
+
+}  // namespace conga::campaign

@@ -22,7 +22,8 @@ constexpr const char* kTypeNames[] = {
     "link_drop_corrupt", "fault_link_flap", "fault_degrade",
     "fault_gray",        "fault_switch_reboot", "fault_stale_feedback",
     "flow_stalled",      "probe_sent",     "probe_received",
-    "probe_table_update", "flowcell_rotate",
+    "probe_table_update", "flowcell_rotate", "campaign_cell_hit",
+    "campaign_cell_miss", "campaign_store_write", "campaign_verify_recompute",
 };
 static_assert(sizeof(kTypeNames) / sizeof(kTypeNames[0]) ==
                   static_cast<std::size_t>(EventType::kTypeCount),
@@ -30,7 +31,7 @@ static_assert(sizeof(kTypeNames) / sizeof(kTypeNames[0]) ==
 
 constexpr const char* kCategoryNames[] = {
     "queue", "link", "dre", "flowlet", "conga_table", "tcp", "flow", "probe",
-    "fault",
+    "fault", "campaign",
 };
 static_assert(sizeof(kCategoryNames) / sizeof(kCategoryNames[0]) ==
                   static_cast<std::size_t>(Category::kCount),

@@ -46,6 +46,7 @@ enum class Category : std::uint8_t {
   kFlow,        ///< flow start / finish / stall reports
   kProbe,       ///< periodic counter / gauge samples
   kFault,       ///< injected fault transitions (src/fault/)
+  kCampaign,    ///< campaign cache decisions (src/campaign/)
   kCount,
 };
 
@@ -114,6 +115,14 @@ enum class EventType : std::uint8_t {
   kProbeTableUpdate,
   // kFlowlet — Presto flowcell boundary: a flow hash, b the next port.
   kFlowcellRotate,
+  // kCampaign — cache decisions, emitted by the campaign runner on the main
+  // thread after the parallel section (the sink is thread-confined).
+  // a: cell index in canonical expansion order, b: FNV-1a of the cell key
+  // (miss after a corrupt entry: b's top bit set — a healed recomputation).
+  kCampaignCellHit,
+  kCampaignCellMiss,
+  kCampaignStoreWrite,
+  kCampaignVerifyRecompute,
   kTypeCount,
 };
 
@@ -157,6 +166,11 @@ constexpr Category category_of(EventType t) {
     case EventType::kFaultSwitchReboot:
     case EventType::kFaultStaleFeedback:
       return Category::kFault;
+    case EventType::kCampaignCellHit:
+    case EventType::kCampaignCellMiss:
+    case EventType::kCampaignStoreWrite:
+    case EventType::kCampaignVerifyRecompute:
+      return Category::kCampaign;
     default:
       return Category::kProbe;
   }

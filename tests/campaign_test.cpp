@@ -1,0 +1,427 @@
+// Campaign service tests: canonical JSON round-trips (including a fuzz
+// sweep), cache-key sensitivity, expansion order, the cold-vs-warm
+// byte-identity promise, verdicts, verify-sample poisoning detection, and
+// the kCampaign telemetry events.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/experiment_spec.hpp"
+#include "campaign/fingerprint.hpp"
+#include "campaign/json.hpp"
+#include "campaign/store.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace conga::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique throwaway directory per test; removed on destruction.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag)
+      : path(fs::temp_directory_path() /
+             ("conga_campaign_test." + tag + "." +
+              std::to_string(::getpid()))) {
+    fs::remove_all(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// A campaign whose cells simulate in well under a second: a shrunken
+/// testbed and millisecond windows.
+CampaignSpec tiny_campaign() {
+  CampaignSpec c;
+  c.name = "tiny";
+  c.policies = {"ecmp"};
+  c.loads_pct = {30};
+  net::TopologyConfig topo = net::testbed_baseline();
+  topo.hosts_per_leaf = 4;
+  c.cases.push_back({"t", topo});
+  c.warmup_ns = sim::milliseconds(1);
+  c.measure_ns = sim::milliseconds(2);
+  c.max_drain_ns = sim::milliseconds(300);
+  return c;
+}
+
+TEST(CampaignJson, SpecCanonicalRoundTrip) {
+  ExperimentSpec s;
+  s.topo = net::testbed_baseline();
+  const std::string bytes = canonical_json(s);
+  ExperimentSpec parsed;
+  std::string err;
+  ASSERT_TRUE(parse_spec(bytes, parsed, err)) << err;
+  EXPECT_EQ(canonical_json(parsed), bytes);
+}
+
+TEST(CampaignJson, FuzzSpecRoundTripIsByteStable) {
+  // Property: for any spec the serializer can produce, parse(dump) re-dumps
+  // to the identical bytes — doubles included (shortest-round-trip form).
+  sim::Rng rng(2024);
+  const char* dists[] = {"enterprise", "datamining", "websearch",
+                         "fixed:1234"};
+  const char* profiles[] = {"none", "random", "gray"};
+  for (int trial = 0; trial < 300; ++trial) {
+    ExperimentSpec s;
+    s.dist = dists[rng.uniform_int(0, 3)];
+    s.policy = rng.uniform_int(0, 1) != 0 ? "conga" : "letflow";
+    s.load = rng.uniform(0.01, 1.0);
+    s.topo = net::testbed_baseline();
+    s.topo.num_leaves = static_cast<int>(rng.uniform_int(2, 6));
+    s.topo.num_spines = static_cast<int>(rng.uniform_int(2, 4));
+    s.topo.hosts_per_leaf = static_cast<int>(rng.uniform_int(1, 32));
+    s.topo.host_link_bps = rng.uniform(1e9, 4e10);
+    s.topo.dre.alpha = rng.uniform(0.0, 1.0);
+    s.topo.shared_buffer_alpha = rng.uniform(0.1, 16.0);
+    if (rng.uniform_int(0, 1) != 0) {
+      s.topo.overrides.push_back(net::LinkOverride{
+          static_cast<int>(rng.uniform_int(0, 3)),
+          static_cast<int>(rng.uniform_int(0, 3)), 0,
+          rng.uniform(0.01, 1.0)});
+    }
+    s.min_rto_ns = static_cast<sim::TimeNs>(rng.uniform_int(1, 1U << 30));
+    s.dctcp = rng.uniform_int(0, 1) != 0;
+    s.warmup_ns = static_cast<sim::TimeNs>(rng.uniform_int(0, 1U << 30));
+    s.measure_ns = static_cast<sim::TimeNs>(rng.uniform_int(1, 1U << 30));
+    s.fabric_seed = rng.uniform_int(0, ~0ULL);
+    s.traffic_seed = rng.uniform_int(0, ~0ULL);
+    s.fault.profile = profiles[rng.uniform_int(0, 2)];
+    s.fault.seed = rng.uniform_int(0, ~0ULL);
+
+    const std::string bytes = canonical_json(s);
+    ExperimentSpec parsed;
+    std::string err;
+    ASSERT_TRUE(parse_spec(bytes, parsed, err))
+        << err << "\nbytes: " << bytes;
+    ASSERT_EQ(canonical_json(parsed), bytes);
+    // And the generic document layer agrees with itself.
+    Json doc;
+    ASSERT_TRUE(Json::parse(bytes, doc, err)) << err;
+    ASSERT_EQ(doc.dump(), bytes);
+  }
+}
+
+TEST(CampaignJson, ReorderedFieldsCanonicalizeToSameBytes) {
+  ExperimentSpec s;
+  s.topo = net::testbed_baseline();
+  s.policy = "letflow";
+  s.load = 0.45;
+  const std::string canonical = canonical_json(s);
+
+  // Same content, scrambled member order (and the topo via the canonical
+  // writer, spliced mid-document).
+  const std::string topo_bytes = json_of_topo(s.topo).dump();
+  const std::string scrambled = std::string("{\"load\":0.45,\"topo\":") +
+                                topo_bytes +
+                                ",\"policy\":\"letflow\",\"schema\":"
+                                "\"conga-cell-spec-v1\"}";
+  ExperimentSpec parsed;
+  std::string err;
+  ASSERT_TRUE(parse_spec(scrambled, parsed, err)) << err;
+  EXPECT_EQ(canonical_json(parsed), canonical);
+}
+
+TEST(CampaignJson, UnknownFieldsAreErrors) {
+  ExperimentSpec parsed;
+  std::string err;
+  EXPECT_FALSE(parse_spec("{\"bogus\":1}", parsed, err));
+  EXPECT_NE(err.find("unknown spec field"), std::string::npos) << err;
+  EXPECT_FALSE(parse_spec("{\"topo\":{\"num_leeves\":4}}", parsed, err));
+  EXPECT_NE(err.find("unknown topo field"), std::string::npos) << err;
+  EXPECT_FALSE(parse_spec("{\"fault\":{\"profil\":\"none\"}}", parsed, err));
+  EXPECT_NE(err.find("unknown fault field"), std::string::npos) << err;
+
+  CampaignSpec campaign;
+  EXPECT_FALSE(parse_campaign("{\"policy\":[\"conga\"]}", campaign, err));
+  EXPECT_NE(err.find("unknown campaign field"), std::string::npos) << err;
+}
+
+TEST(CampaignJson, CampaignRequestRoundTrip) {
+  CampaignSpec c = make_smoke_campaign();
+  c.seeds.push_back({3, 11});
+  c.faults.push_back({"gray", 5});
+  const std::string bytes = json_of_campaign(c).dump();
+  CampaignSpec parsed;
+  std::string err;
+  ASSERT_TRUE(parse_campaign(bytes, parsed, err)) << err;
+  EXPECT_EQ(json_of_campaign(parsed).dump(), bytes);
+}
+
+TEST(CampaignJson, ResultPayloadRoundTrip) {
+  workload::ExperimentResult r;
+  r.avg_norm_fct = 12.345678901234567;
+  r.median_norm_fct = 1.5;
+  r.p99_norm_fct = 99.25;
+  r.flows = 1234;
+  r.completed_fraction = 0.9990234375;
+  r.drained = true;
+  r.fct_digest = 0xda563ccc62ab9618ULL;
+  r.reorder_segments = 42;
+  r.probes_sent = 7;
+  const std::string bytes = json_of_result(r).dump();
+  workload::ExperimentResult parsed;
+  std::string err;
+  Json doc;
+  ASSERT_TRUE(Json::parse(bytes, doc, err)) << err;
+  ASSERT_TRUE(result_from_json(doc, parsed, err)) << err;
+  EXPECT_EQ(json_of_result(parsed).dump(), bytes);
+  EXPECT_EQ(parsed.fct_digest, r.fct_digest);
+  EXPECT_EQ(parsed.flows, r.flows);
+}
+
+TEST(CampaignKey, StableAndSensitive) {
+  ExperimentSpec s;
+  s.topo = net::testbed_baseline();
+  const std::string key = cell_key(s, "fp");
+  EXPECT_EQ(key.size(), 32U);
+  EXPECT_EQ(cell_key(s, "fp"), key);
+
+  ExperimentSpec mutated = s;
+  mutated.load = s.load + 0.1;
+  EXPECT_NE(cell_key(mutated, "fp"), key);
+  mutated = s;
+  mutated.traffic_seed ^= 1;
+  EXPECT_NE(cell_key(mutated, "fp"), key);
+  mutated = s;
+  mutated.fault.profile = "gray";
+  EXPECT_NE(cell_key(mutated, "fp"), key);
+  mutated = s;
+  mutated.topo.hosts_per_leaf += 1;
+  EXPECT_NE(cell_key(mutated, "fp"), key);
+  // The same config under different code is a different cell.
+  EXPECT_NE(cell_key(s, "fp2"), key);
+}
+
+TEST(CampaignExpand, CanonicalOrder) {
+  CampaignSpec c;
+  c.policies = {"ecmp", "conga"};
+  c.loads_pct = {30, 60};
+  net::TopologyConfig topo = net::testbed_baseline();
+  net::TopologyConfig degraded = topo;
+  degraded.overrides.push_back(net::LinkOverride{1, 1, 0, 0.1});
+  // Cases with identical topologies would share cells (the key hashes the
+  // spec, and the case name is presentation, not configuration) — the
+  // degraded case keeps this grid fully distinct.
+  c.cases = {{"a", topo}, {"b", degraded}};
+  c.seeds = {{1, 7}, {2, 9}};
+  c.faults = {{"none", 1}, {"gray", 3}};
+
+  const std::vector<Cell> cells = expand_campaign(c, "fp");
+  ASSERT_EQ(cells.size(), 32U);
+  // case -> policy -> load -> seed -> fault, fault innermost.
+  EXPECT_EQ(cells[0].case_name, "a");
+  EXPECT_EQ(cells[0].spec.policy, "ecmp");
+  EXPECT_EQ(cells[0].spec.load, 0.30);
+  EXPECT_EQ(cells[0].spec.fault.profile, "none");
+  EXPECT_EQ(cells[1].spec.fault.profile, "gray");
+  EXPECT_EQ(cells[2].spec.fabric_seed, 2U);
+  EXPECT_EQ(cells[4].spec.load, 0.60);
+  EXPECT_EQ(cells[8].spec.policy, "conga");
+  EXPECT_EQ(cells[16].case_name, "b");
+  // Keys are unique across the grid.
+  std::vector<std::string> keys;
+  for (const Cell& cell : cells) keys.push_back(cell.key);
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(CampaignRun, ColdThenWarmIsByteIdentical) {
+  const TempDir dir("coldwarm");
+  ResultStore store(dir.path.string());
+  const CampaignSpec spec = tiny_campaign();
+  RunOptions opts;
+  opts.store = &store;
+
+  CampaignRun cold;
+  std::string err;
+  ASSERT_TRUE(run_campaign(spec, opts, cold, err)) << err;
+  EXPECT_EQ(cold.stats.cells, 1U);
+  EXPECT_EQ(cold.stats.misses, 1U);
+  EXPECT_EQ(cold.stats.hits, 0U);
+  EXPECT_EQ(cold.stats.store_writes, 1U);
+  ASSERT_EQ(cold.origins.size(), 1U);
+  EXPECT_EQ(cold.origins[0], CellOrigin::kComputed);
+
+  CampaignRun warm;
+  ASSERT_TRUE(run_campaign(spec, opts, warm, err)) << err;
+  EXPECT_EQ(warm.stats.hits, 1U);
+  EXPECT_EQ(warm.stats.misses, 0U);
+  EXPECT_EQ(warm.stats.store_writes, 0U);
+  EXPECT_EQ(warm.origins[0], CellOrigin::kCached);
+
+  EXPECT_EQ(report_json(cold), report_json(warm));
+}
+
+TEST(CampaignRun, NoStoreComputesEverything) {
+  const CampaignSpec spec = tiny_campaign();
+  RunOptions opts;  // store == nullptr
+  CampaignRun run;
+  std::string err;
+  ASSERT_TRUE(run_campaign(spec, opts, run, err)) << err;
+  EXPECT_EQ(run.stats.misses, run.stats.cells);
+  EXPECT_EQ(run.stats.store_writes, 0U);
+}
+
+TEST(CampaignRun, UnknownPolicyFailsWithContext) {
+  CampaignSpec spec = tiny_campaign();
+  spec.policies = {"definitely-not-a-policy"};
+  RunOptions opts;
+  CampaignRun run;
+  std::string err;
+  EXPECT_FALSE(run_campaign(spec, opts, run, err));
+  EXPECT_NE(err.find("unknown policy"), std::string::npos) << err;
+}
+
+TEST(CampaignVerdict, PassAndRegressionAndMissing) {
+  const CampaignSpec spec = tiny_campaign();
+  RunOptions opts;
+  CampaignRun run;
+  std::string err;
+  ASSERT_TRUE(run_campaign(spec, opts, run, err)) << err;
+
+  Json report;
+  ASSERT_TRUE(Json::parse(report_json(run), report, err)) << err;
+
+  // Identical reports: clean pass.
+  Json verdict;
+  ASSERT_TRUE(make_verdict(report, report, VerdictOptions{}, verdict, err))
+      << err;
+  EXPECT_TRUE(verdict_pass(verdict));
+  EXPECT_EQ(verdict.find("regressions")->as_uint(), 0U);
+
+  // Inflate the current FCT: regression against the original baseline.
+  CampaignRun slower = run;
+  slower.results[0].avg_norm_fct *= 2.0;
+  slower.results[0].fct_digest ^= 1;
+  Json slow_report;
+  ASSERT_TRUE(Json::parse(report_json(slower), slow_report, err)) << err;
+  ASSERT_TRUE(
+      make_verdict(slow_report, report, VerdictOptions{}, verdict, err))
+      << err;
+  EXPECT_FALSE(verdict_pass(verdict));
+  EXPECT_EQ(verdict.find("regressions")->as_uint(), 1U);
+  const Json& cell = verdict.find("cells")->at(0);
+  EXPECT_EQ(cell.find("status")->as_string(), "regression");
+  EXPECT_TRUE(cell.find("fct_digest_changed")->as_bool());
+
+  // And the mirror image reads as an improvement.
+  ASSERT_TRUE(
+      make_verdict(report, slow_report, VerdictOptions{}, verdict, err))
+      << err;
+  EXPECT_TRUE(verdict_pass(verdict));
+  EXPECT_EQ(verdict.find("improvements")->as_uint(), 1U);
+
+  // A cell with no baseline counterpart is reported, not failed.
+  CampaignRun other = run;
+  other.cells[0].spec.traffic_seed += 1;
+  Json other_report;
+  ASSERT_TRUE(Json::parse(report_json(other), other_report, err)) << err;
+  ASSERT_TRUE(
+      make_verdict(other_report, report, VerdictOptions{}, verdict, err))
+      << err;
+  EXPECT_TRUE(verdict_pass(verdict));
+  EXPECT_EQ(verdict.find("missing_baseline")->size(), 1U);
+}
+
+TEST(CampaignVerify, SampleDetectsPoisonedStore) {
+  const TempDir dir("poison");
+  ResultStore store(dir.path.string());
+  const CampaignSpec spec = tiny_campaign();
+  RunOptions opts;
+  opts.store = &store;
+
+  CampaignRun cold;
+  std::string err;
+  ASSERT_TRUE(run_campaign(spec, opts, cold, err)) << err;
+
+  // Poison the entry *consistently*: a modified result re-wrapped with a
+  // valid payload digest, indistinguishable from a real entry on load.
+  workload::ExperimentResult forged = cold.results[0];
+  forged.avg_norm_fct += 1.0;
+  ASSERT_TRUE(store.put(cold.cells[0].key, cold.fingerprint,
+                        canonical_json(cold.cells[0].spec), forged, err))
+      << err;
+
+  CampaignRun warm;
+  ASSERT_TRUE(run_campaign(spec, opts, warm, err)) << err;
+  ASSERT_EQ(warm.stats.hits, 1U);  // the poison loads cleanly...
+
+  VerifyOutcome outcome;
+  ASSERT_TRUE(verify_sample(warm, 1.0, 1, nullptr, outcome, err)) << err;
+  EXPECT_EQ(outcome.sampled, 1U);
+  EXPECT_EQ(outcome.mismatched, 1U);  // ...but recomputation exposes it
+  ASSERT_EQ(outcome.poisoned_keys.size(), 1U);
+  EXPECT_EQ(outcome.poisoned_keys[0], warm.cells[0].key);
+
+  // An honest store passes the same audit.
+  ASSERT_TRUE(store.put(cold.cells[0].key, cold.fingerprint,
+                        canonical_json(cold.cells[0].spec), cold.results[0],
+                        err))
+      << err;
+  CampaignRun honest;
+  ASSERT_TRUE(run_campaign(spec, opts, honest, err)) << err;
+  ASSERT_TRUE(verify_sample(honest, 1.0, 1, nullptr, outcome, err)) << err;
+  EXPECT_EQ(outcome.mismatched, 0U);
+}
+
+#ifdef CONGA_TELEMETRY
+TEST(CampaignTelemetry, CacheDecisionsAreTraced) {
+  const TempDir dir("telemetry");
+  ResultStore store(dir.path.string());
+  const CampaignSpec spec = tiny_campaign();
+  telemetry::TraceSink sink;
+  RunOptions opts;
+  opts.store = &store;
+  opts.sink = &sink;
+
+  CampaignRun cold;
+  std::string err;
+  ASSERT_TRUE(run_campaign(spec, opts, cold, err)) << err;
+  CampaignRun warm;
+  ASSERT_TRUE(run_campaign(spec, opts, warm, err)) << err;
+  VerifyOutcome outcome;
+  ASSERT_TRUE(verify_sample(warm, 1.0, 1, &sink, outcome, err)) << err;
+
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t writes = 0;
+  std::size_t recomputes = 0;
+  for (const telemetry::Event& e : sink.all_events()) {
+    switch (e.type) {
+      case telemetry::EventType::kCampaignCellHit: ++hits; break;
+      case telemetry::EventType::kCampaignCellMiss: ++misses; break;
+      case telemetry::EventType::kCampaignStoreWrite: ++writes; break;
+      case telemetry::EventType::kCampaignVerifyRecompute: ++recomputes; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(misses, 1U);       // cold pass
+  EXPECT_EQ(writes, 1U);       // cold pass wrote the entry
+  EXPECT_EQ(hits, 1U);         // warm pass
+  EXPECT_EQ(recomputes, 1U);   // verify-sample audit
+  EXPECT_EQ(telemetry::category_of(telemetry::EventType::kCampaignCellHit),
+            telemetry::Category::kCampaign);
+
+  // Wire names round-trip through the CLI-facing parsers.
+  telemetry::EventType parsed;
+  ASSERT_TRUE(telemetry::parse_event_type("campaign_cell_miss", parsed));
+  EXPECT_EQ(parsed, telemetry::EventType::kCampaignCellMiss);
+  telemetry::Category cat;
+  ASSERT_TRUE(telemetry::parse_category("campaign", cat));
+  EXPECT_EQ(cat, telemetry::Category::kCampaign);
+}
+#endif  // CONGA_TELEMETRY
+
+}  // namespace
+}  // namespace conga::campaign

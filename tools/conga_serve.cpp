@@ -1,0 +1,369 @@
+// conga_serve — the campaign service CLI.
+//
+// A campaign is a declarative sweep request (scenario family x policy x load
+// x seed x fault grid). conga_serve expands it into content-addressed cells,
+// reuses every cell the store already has for this exact code, simulates
+// only the misses, and writes a conga-campaign-v1 report that is
+// byte-identical whether it came from a cold run, a warm run, or any --jobs
+// value. Cache statistics go to --stats-out / stderr, never into the report.
+//
+// Subcommands:
+//   run     execute a campaign incrementally
+//           --campaign FILE | --builtin NAME   the request (JSON / built-in)
+//           --store DIR                        content-addressed result store
+//           --jobs N                           worker threads (default 1)
+//           --out FILE                         report (default stdout)
+//           --stats-out FILE                   cache statistics JSON
+//           --baseline FILE                    prior report to compare with
+//           --verdict-out FILE                 verdict JSON (needs --baseline)
+//           --tolerance X                      relative FCT tolerance (0.01)
+//           --verify-sample PCT                recompute PCT% of cache hits;
+//                                              any divergence is a poisoned
+//                                              store and exits nonzero
+//           --verbose                          per-cell progress on stderr
+//   expand  print the cell grid (coordinates and cache keys), no simulation
+//           --campaign FILE | --builtin NAME
+//   verdict compare two reports offline
+//           --report FILE --baseline FILE [--out FILE] [--tolerance X]
+//
+// Exit status: 0 success; 1 regression verdict or store poisoning; 2 usage
+// or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/fingerprint.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace conga;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: conga_serve run    [--campaign FILE | --builtin NAME] "
+      "[--store DIR]\n"
+      "                          [--jobs N] [--out FILE] [--stats-out FILE]\n"
+      "                          [--baseline FILE --verdict-out FILE]\n"
+      "                          [--tolerance X] [--verify-sample PCT] "
+      "[--verbose]\n"
+      "       conga_serve expand [--campaign FILE | --builtin NAME]\n"
+      "       conga_serve verdict --report FILE --baseline FILE "
+      "[--out FILE] [--tolerance X]\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  out.clear();
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    out.append(buf, n);
+    if (n < sizeof(buf)) break;
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+/// Resolves --campaign / --builtin into a request; defaults to the built-in
+/// smoke campaign when neither is given.
+bool load_campaign(const std::string& campaign_path,
+                   const std::string& builtin, campaign::CampaignSpec& out,
+                   std::string& err) {
+  if (!campaign_path.empty() && !builtin.empty()) {
+    err = "--campaign and --builtin are mutually exclusive";
+    return false;
+  }
+  if (!campaign_path.empty()) {
+    std::string text;
+    if (!read_file(campaign_path, text)) {
+      err = "cannot read " + campaign_path;
+      return false;
+    }
+    return campaign::parse_campaign(text, out, err);
+  }
+  const std::string name = builtin.empty() ? "smoke" : builtin;
+  if (name == "smoke") {
+    out = campaign::make_smoke_campaign();
+    return true;
+  }
+  err = "unknown builtin campaign '" + name + "' (available: smoke)";
+  return false;
+}
+
+struct Args {
+  std::string campaign_path;
+  std::string builtin;
+  std::string store_dir;
+  std::string out_path;
+  std::string stats_path;
+  std::string baseline_path;
+  std::string verdict_path;
+  std::string report_path;
+  double tolerance = 0.01;
+  double verify_sample = 0.0;  ///< fraction, from --verify-sample percent
+  int jobs = 1;
+  bool verbose = false;
+};
+
+bool parse_args(int argc, char** argv, Args& a, std::string& err) {
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](std::string& out) {
+      if (i + 1 >= argc) {
+        err = std::string(arg) + " needs a value";
+        return false;
+      }
+      out = argv[++i];
+      return true;
+    };
+    std::string v;
+    if (std::strcmp(arg, "--campaign") == 0) {
+      if (!value(a.campaign_path)) return false;
+    } else if (std::strcmp(arg, "--builtin") == 0) {
+      if (!value(a.builtin)) return false;
+    } else if (std::strcmp(arg, "--store") == 0) {
+      if (!value(a.store_dir)) return false;
+    } else if (std::strcmp(arg, "--out") == 0) {
+      if (!value(a.out_path)) return false;
+    } else if (std::strcmp(arg, "--stats-out") == 0) {
+      if (!value(a.stats_path)) return false;
+    } else if (std::strcmp(arg, "--baseline") == 0) {
+      if (!value(a.baseline_path)) return false;
+    } else if (std::strcmp(arg, "--verdict-out") == 0) {
+      if (!value(a.verdict_path)) return false;
+    } else if (std::strcmp(arg, "--report") == 0) {
+      if (!value(a.report_path)) return false;
+    } else if (std::strcmp(arg, "--tolerance") == 0) {
+      if (!value(v)) return false;
+      a.tolerance = std::atof(v.c_str());
+      if (!(a.tolerance >= 0.0)) {
+        err = "--tolerance must be >= 0";
+        return false;
+      }
+    } else if (std::strcmp(arg, "--verify-sample") == 0) {
+      if (!value(v)) return false;
+      const double pct = std::atof(v.c_str());
+      if (!(pct > 0.0) || pct > 100.0) {
+        err = "--verify-sample wants a percentage in (0, 100]";
+        return false;
+      }
+      a.verify_sample = pct / 100.0;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      if (!value(v)) return false;
+      a.jobs = std::atoi(v.c_str());
+      if (a.jobs <= 0) {
+        err = "--jobs must be positive";
+        return false;
+      }
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      a.verbose = true;
+    } else {
+      err = std::string("unknown flag ") + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_expand(const Args& a) {
+  campaign::CampaignSpec spec;
+  std::string err;
+  if (!load_campaign(a.campaign_path, a.builtin, spec, err)) {
+    std::fprintf(stderr, "conga_serve: %s\n", err.c_str());
+    return 2;
+  }
+  const std::string fp = campaign::code_fingerprint();
+  const std::vector<campaign::Cell> cells =
+      campaign::expand_campaign(spec, fp);
+  std::printf("campaign %s: %zu cells (fingerprint %s)\n", spec.name.c_str(),
+              cells.size(), fp.c_str());
+  for (const campaign::Cell& cell : cells) {
+    std::printf("%s  %s/%s @ %d%% seeds=%llu/%llu fault=%s/%llu\n",
+                cell.key.c_str(), cell.case_name.c_str(),
+                cell.spec.policy.c_str(),
+                static_cast<int>(cell.spec.load * 100.0 + 0.5),
+                static_cast<unsigned long long>(cell.spec.fabric_seed),
+                static_cast<unsigned long long>(cell.spec.traffic_seed),
+                cell.spec.fault.profile.c_str(),
+                static_cast<unsigned long long>(cell.spec.fault.seed));
+  }
+  return 0;
+}
+
+int make_and_emit_verdict(const campaign::Json& report,
+                          const std::string& baseline_path,
+                          const std::string& verdict_path, double tolerance) {
+  std::string base_text;
+  std::string err;
+  if (!read_file(baseline_path, base_text)) {
+    std::fprintf(stderr, "conga_serve: cannot read %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  campaign::Json baseline;
+  if (!campaign::Json::parse(base_text, baseline, err)) {
+    std::fprintf(stderr, "conga_serve: baseline: %s\n", err.c_str());
+    return 2;
+  }
+  campaign::VerdictOptions vopts;
+  vopts.rel_fct_tolerance = tolerance;
+  campaign::Json verdict;
+  if (!campaign::make_verdict(report, baseline, vopts, verdict, err)) {
+    std::fprintf(stderr, "conga_serve: %s\n", err.c_str());
+    return 2;
+  }
+  const std::string bytes = verdict.dump_pretty() + "\n";
+  if (!verdict_path.empty()) {
+    if (!write_file(verdict_path, bytes)) {
+      std::fprintf(stderr, "conga_serve: cannot write %s\n",
+                   verdict_path.c_str());
+      return 2;
+    }
+  } else {
+    std::fputs(bytes.c_str(), stdout);
+  }
+  const bool pass = campaign::verdict_pass(verdict);
+  std::fprintf(stderr, "conga_serve: verdict %s (regressions=%llu)\n",
+               pass ? "PASS" : "REGRESSION",
+               static_cast<unsigned long long>(
+                   verdict.find("regressions")->as_uint()));
+  return pass ? 0 : 1;
+}
+
+int cmd_run(const Args& a) {
+  campaign::CampaignSpec spec;
+  std::string err;
+  if (!load_campaign(a.campaign_path, a.builtin, spec, err)) {
+    std::fprintf(stderr, "conga_serve: %s\n", err.c_str());
+    return 2;
+  }
+  if (!a.verdict_path.empty() && a.baseline_path.empty()) {
+    std::fprintf(stderr, "conga_serve: --verdict-out needs --baseline\n");
+    return 2;
+  }
+
+  campaign::ResultStore store(a.store_dir);
+  telemetry::TraceSink sink;
+  campaign::RunOptions opts;
+  opts.jobs = a.jobs;
+  opts.store = a.store_dir.empty() ? nullptr : &store;
+  opts.sink = &sink;
+  opts.verbose = a.verbose;
+
+  campaign::CampaignRun run;
+  if (!campaign::run_campaign(spec, opts, run, err)) {
+    std::fprintf(stderr, "conga_serve: %s\n", err.c_str());
+    return 2;
+  }
+
+  const std::string report_text = campaign::report_json(run);
+  if (!a.out_path.empty()) {
+    if (!write_file(a.out_path, report_text)) {
+      std::fprintf(stderr, "conga_serve: cannot write %s\n",
+                   a.out_path.c_str());
+      return 2;
+    }
+  } else {
+    std::fputs(report_text.c_str(), stdout);
+  }
+
+  // Cache statistics are run-dependent by design; they go to stderr and
+  // --stats-out, never into the report (which must stay byte-identical
+  // between cold and warm runs).
+  const campaign::Json stats = campaign::stats_json(run.stats);
+  std::fprintf(stderr, "conga_serve: %s\n", stats.dump().c_str());
+  if (!a.stats_path.empty() &&
+      !write_file(a.stats_path, stats.dump_pretty() + "\n")) {
+    std::fprintf(stderr, "conga_serve: cannot write %s\n",
+                 a.stats_path.c_str());
+    return 2;
+  }
+
+  int status = 0;
+  if (a.verify_sample > 0.0) {
+    campaign::VerifyOutcome outcome;
+    if (!campaign::verify_sample(run, a.verify_sample, a.jobs, opts.sink,
+                                 outcome, err)) {
+      std::fprintf(stderr, "conga_serve: verify-sample: %s\n", err.c_str());
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "conga_serve: verify-sample recomputed %zu hit(s), "
+                 "%zu mismatch(es)\n",
+                 outcome.sampled, outcome.mismatched);
+    for (const std::string& key : outcome.poisoned_keys) {
+      std::fprintf(stderr, "conga_serve: POISONED store entry %s\n",
+                   key.c_str());
+    }
+    if (outcome.mismatched > 0) status = 1;
+  }
+
+  if (!a.baseline_path.empty()) {
+    campaign::Json report;
+    if (!campaign::Json::parse(report_text, report, err)) {
+      std::fprintf(stderr, "conga_serve: internal: report unparseable: %s\n",
+                   err.c_str());
+      return 2;
+    }
+    const int verdict_status = make_and_emit_verdict(
+        report, a.baseline_path, a.verdict_path, a.tolerance);
+    if (verdict_status != 0) status = verdict_status == 2 ? 2 : 1;
+  }
+  return status;
+}
+
+int cmd_verdict(const Args& a) {
+  if (a.report_path.empty() || a.baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "conga_serve: verdict needs --report and --baseline\n");
+    return 2;
+  }
+  std::string report_text;
+  std::string err;
+  if (!read_file(a.report_path, report_text)) {
+    std::fprintf(stderr, "conga_serve: cannot read %s\n",
+                 a.report_path.c_str());
+    return 2;
+  }
+  campaign::Json report;
+  if (!campaign::Json::parse(report_text, report, err)) {
+    std::fprintf(stderr, "conga_serve: report: %s\n", err.c_str());
+    return 2;
+  }
+  // For the offline subcommand --out and --verdict-out are synonyms.
+  return make_and_emit_verdict(
+      report, a.baseline_path,
+      a.verdict_path.empty() ? a.out_path : a.verdict_path, a.tolerance);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args a;
+  std::string err;
+  if (!parse_args(argc, argv, a, err)) {
+    std::fprintf(stderr, "conga_serve: %s\n", err.c_str());
+    return usage();
+  }
+  if (std::strcmp(argv[1], "run") == 0) return cmd_run(a);
+  if (std::strcmp(argv[1], "expand") == 0) return cmd_expand(a);
+  if (std::strcmp(argv[1], "verdict") == 0) return cmd_verdict(a);
+  return usage();
+}
