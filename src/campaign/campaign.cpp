@@ -1,6 +1,7 @@
 #include "campaign/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -77,16 +78,28 @@ std::string coordinate_of(const std::string& case_name,
          "|" + fault_profile + "|" + std::to_string(fault_seed);
 }
 
-std::string coordinate_of_cell(const Cell& cell) {
+constexpr std::uint64_t kRecomputedFlag = 1ULL << 63;
+
+}  // namespace
+
+std::string cell_coordinate(const Cell& cell) {
   const ExperimentSpec& s = cell.spec;
   return coordinate_of(cell.case_name, s.policy, load_pct_of(s),
                        s.fabric_seed, s.traffic_seed, s.fault.profile,
                        s.fault.seed);
 }
 
-constexpr std::uint64_t kRecomputedFlag = 1ULL << 63;
-
-}  // namespace
+const char* store_health_name(StoreHealth h) {
+  switch (h) {
+    case StoreHealth::kNone:
+      return "none";
+    case StoreHealth::kOk:
+      return "ok";
+    case StoreHealth::kDegraded:
+      return "degraded";
+  }
+  return "none";
+}
 
 Json json_of_campaign(const CampaignSpec& spec) {
   Json j = Json::object();
@@ -336,7 +349,11 @@ bool run_campaign(const CampaignSpec& spec, const RunOptions& opts,
 
   // Phase 2 — misses on the parallel runner; each worker owns its whole
   // simulation and writes its entry back itself (put() is thread-safe).
+  // A store that stops accepting writes (read-only root, ENOSPC) must not
+  // kill a campaign mid-run: the run degrades to in-memory results, warns
+  // once, and the report still completes in full.
   std::mutex progress_mu;
+  std::atomic<bool> store_degraded{false};
   try {
     runtime::parallel_for(misses.size(), opts.jobs, [&](std::size_t mi) {
       const std::size_t i = misses[mi];
@@ -344,7 +361,7 @@ bool run_campaign(const CampaignSpec& spec, const RunOptions& opts,
       workload::ExperimentConfig cfg;
       std::string cell_err;
       if (!to_experiment_config(cell.spec, cfg, cell_err)) {
-        throw std::runtime_error("cell " + coordinate_of_cell(cell) + ": " +
+        throw std::runtime_error("cell " + cell_coordinate(cell) + ": " +
                                  cell_err);
       }
       run.results[i] = workload::run_fct_experiment(cfg);
@@ -353,13 +370,18 @@ bool run_campaign(const CampaignSpec& spec, const RunOptions& opts,
         if (!opts.store->put(cell.key, run.fingerprint,
                              canonical_json(cell.spec), run.results[i],
                              put_err)) {
-          throw std::runtime_error(put_err);
+          if (!store_degraded.exchange(true)) {
+            std::fprintf(stderr,
+                         "campaign: WARNING store degraded, keeping results "
+                         "in memory (%s)\n",
+                         put_err.c_str());
+          }
         }
       }
       if (opts.verbose) {
         const std::lock_guard<std::mutex> lock(progress_mu);
         std::fprintf(stderr, "  [%s: %zu flows, %.0f%% completed]\n",
-                     coordinate_of_cell(cell).c_str(), run.results[i].flows,
+                     cell_coordinate(cell).c_str(), run.results[i].flows,
                      run.results[i].completed_fraction * 100);
       }
     });
@@ -369,6 +391,9 @@ bool run_campaign(const CampaignSpec& spec, const RunOptions& opts,
   }
   run.stats.store_writes =
       opts.store != nullptr ? opts.store->writes() - writes_before : 0;
+  run.stats.store = opts.store == nullptr ? StoreHealth::kNone
+                    : store_degraded.load() ? StoreHealth::kDegraded
+                                            : StoreHealth::kOk;
 
   // Phase 3 — telemetry, main thread only (the sink is thread-confined).
   // a: cell index in canonical order, b: FNV-1a of the cell key.
@@ -390,6 +415,8 @@ bool run_campaign(const CampaignSpec& spec, const RunOptions& opts,
           telemetry::emit(opts.sink, telemetry::EventType::kCampaignCellMiss,
                           comp, 0, i, key_hash | kRecomputedFlag);
           break;
+        case CellOrigin::kFailed:
+          break;  // unreachable in-process; supervised runs emit their own
       }
       if (run.origins[i] != CellOrigin::kCached && opts.store != nullptr) {
         telemetry::emit(opts.sink, telemetry::EventType::kCampaignStoreWrite,
@@ -410,6 +437,9 @@ std::string report_json(const CampaignRun& run) {
   j.set("request", json_of_campaign(run.spec));
   Json cells = Json::array();
   for (std::size_t i = 0; i < run.cells.size(); ++i) {
+    if (i < run.origins.size() && run.origins[i] == CellOrigin::kFailed) {
+      continue;  // quarantined cells live in failed_cells, not cells
+    }
     const Cell& cell = run.cells[i];
     Json e = Json::object();
     e.set("case", Json::string(cell.case_name));
@@ -424,6 +454,19 @@ std::string report_json(const CampaignRun& run) {
     cells.push_back(std::move(e));
   }
   j.set("cells", std::move(cells));
+  Json failed = Json::array();
+  for (const FailedCell& f : run.failed) {
+    Json e = Json::object();
+    e.set("coordinate", Json::string(f.coordinate));
+    e.set("key", Json::string(f.key));
+    e.set("attempts", Json::integer(f.attempts));
+    e.set("outcome", Json::string(f.outcome));
+    e.set("exit_code", Json::integer(f.exit_code));
+    e.set("signal", Json::integer(f.term_signal));
+    e.set("quarantine", Json::string(f.quarantine_path));
+    failed.push_back(std::move(e));
+  }
+  j.set("failed_cells", std::move(failed));
   return j.dump_pretty() + "\n";
 }
 
@@ -434,7 +477,11 @@ Json stats_json(const RunStats& stats) {
   j.set("hits", Json::uinteger(stats.hits));
   j.set("misses", Json::uinteger(stats.misses));
   j.set("corrupt", Json::uinteger(stats.corrupt));
+  j.set("failed", Json::uinteger(stats.failed));
+  j.set("retries", Json::uinteger(stats.retries));
+  j.set("timeouts", Json::uinteger(stats.timeouts));
   j.set("store_writes", Json::uinteger(stats.store_writes));
+  j.set("store", Json::string(store_health_name(stats.store)));
   return j;
 }
 
@@ -629,7 +676,7 @@ bool verify_sample(const CampaignRun& run, double fraction, int jobs,
           workload::ExperimentConfig cfg;
           std::string cell_err;
           if (!to_experiment_config(cell.spec, cfg, cell_err)) {
-            throw std::runtime_error("cell " + coordinate_of_cell(cell) +
+            throw std::runtime_error("cell " + cell_coordinate(cell) +
                                      ": " + cell_err);
           }
           const workload::ExperimentResult fresh =

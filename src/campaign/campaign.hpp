@@ -79,19 +79,54 @@ struct Cell {
 std::vector<Cell> expand_campaign(const CampaignSpec& spec,
                                   const std::string& fingerprint);
 
+/// The verdict/report join key for a cell: its grid coordinates, stable
+/// across code changes (cache keys are not — they fold in the fingerprint).
+std::string cell_coordinate(const Cell& cell);
+
 /// How each cell's result was obtained.
 enum class CellOrigin : std::uint8_t {
   kComputed = 0,  ///< cache miss, simulated this run
   kCached,        ///< verified store hit
   kRecomputed,    ///< store entry was corrupt; recomputed and overwritten
+  kFailed,        ///< supervised cell exhausted its retries; no result
 };
+
+/// Health of the backing store over one run. A campaign never dies because
+/// its store does: an unwritable store degrades to in-memory results and the
+/// report still completes (stats carry the warning).
+enum class StoreHealth : std::uint8_t {
+  kNone = 0,   ///< ran without a store
+  kOk,         ///< every write landed
+  kDegraded,   ///< at least one write failed; results kept in memory
+};
+
+const char* store_health_name(StoreHealth h);
 
 struct RunStats {
   std::size_t cells = 0;
   std::size_t hits = 0;
   std::size_t misses = 0;    ///< includes corrupt recomputations
   std::size_t corrupt = 0;   ///< corrupt entries detected (and healed)
+  std::size_t failed = 0;    ///< quarantined cells (supervised runs)
+  std::uint64_t retries = 0;   ///< child re-spawns after a failed attempt
+  std::uint64_t timeouts = 0;  ///< children killed at the per-cell deadline
   std::uint64_t store_writes = 0;
+  StoreHealth store = StoreHealth::kNone;
+};
+
+/// One cell that exhausted its retry budget under supervision. Everything
+/// here is deterministic given the failure mode — no wall-clock timestamps —
+/// so reports stay comparable across runs.
+struct FailedCell {
+  std::size_t index = 0;      ///< canonical expansion index
+  std::string coordinate;
+  std::string key;
+  int attempts = 0;           ///< attempts consumed (== max_attempts unless
+                              ///< the failure was permanent)
+  std::string outcome;        ///< "exit" | "signal" | "timeout"
+  int exit_code = 0;          ///< valid when outcome == "exit"
+  int term_signal = 0;        ///< valid when outcome == "signal"
+  std::string quarantine_path;  ///< poison record, "" when no store
 };
 
 struct RunOptions {
@@ -107,6 +142,7 @@ struct CampaignRun {
   std::vector<Cell> cells;
   std::vector<workload::ExperimentResult> results;  ///< cell order
   std::vector<CellOrigin> origins;                  ///< cell order
+  std::vector<FailedCell> failed;                   ///< quarantined cells
   RunStats stats;
 };
 
@@ -116,9 +152,11 @@ struct CampaignRun {
 bool run_campaign(const CampaignSpec& spec, const RunOptions& opts,
                   CampaignRun& out, std::string& err);
 
-/// The conga-campaign-v1 report: request axes + per-cell results. A pure
-/// function of (request, fingerprint, results) — no cache state, so cold
-/// and warm runs serialize byte-identically.
+/// The conga-campaign-v1 report: request axes + per-cell results, plus a
+/// `failed_cells` block (empty on clean runs) naming any quarantined cells.
+/// A pure function of (request, fingerprint, results, failures) — no cache
+/// state and no timestamps, so cold and warm runs serialize byte-identically
+/// and a resumed run reproduces an undisturbed run's bytes.
 std::string report_json(const CampaignRun& run);
 
 /// Cache statistics document (conga-campaign-stats-v1). Run-dependent by

@@ -1,0 +1,275 @@
+#include "campaign/spool.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/json.hpp"
+#include "campaign/store.hpp"
+
+namespace conga::campaign {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kResumeSchema = "conga-spool-resume-v1";
+
+const char* origin_name(CellOrigin o) {
+  switch (o) {
+    case CellOrigin::kComputed:
+      return "computed";
+    case CellOrigin::kCached:
+      return "cached";
+    case CellOrigin::kRecomputed:
+      return "recomputed";
+    case CellOrigin::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  out.clear();
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    out.append(buf, n);
+    if (n < sizeof(buf)) break;
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool write_file_synced(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool flushed = std::fflush(f) == 0;
+  const bool synced = ::fsync(::fileno(f)) == 0;
+  return (std::fclose(f) == 0) && wrote && flushed && synced;
+}
+
+/// tmp + rename + fsync: readers only ever see whole documents, and the
+/// rename survives a crash immediately after return.
+bool write_file_atomic(const std::string& path, const std::string& bytes,
+                       std::string& err) {
+  const std::string tmp = path + "." + std::to_string(::getpid()) + ".tmp";
+  if (!write_file_synced(tmp, bytes)) {
+    err = "cannot write " + tmp;
+    return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    err = "rename to " + path + " failed: " + ec.message();
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Paths derived from one request file (spool protocol, see spool.hpp).
+struct RequestPaths {
+  std::string request;
+  std::string out_jsonl;
+  std::string report;
+  std::string resume;
+  std::string error;
+};
+
+RequestPaths paths_of(const std::string& request_path) {
+  RequestPaths p;
+  p.request = request_path;
+  const std::string base =
+      request_path.substr(0, request_path.size() - 5);  // strip ".json"
+  p.out_jsonl = base + ".out.jsonl";
+  p.report = base + ".report.json";
+  p.resume = base + ".resume.json";
+  p.error = base + ".error";
+  return p;
+}
+
+/// Requests ready to run: *.json files that are not derived documents and
+/// have neither a report (done) nor an error record (rejected).
+std::vector<std::string> scan_requests(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    if (!e.is_regular_file(ec)) continue;
+    const std::string name = e.path().filename().string();
+    if (!ends_with(name, ".json")) continue;
+    if (ends_with(name, ".report.json") || ends_with(name, ".resume.json")) {
+      continue;
+    }
+    const RequestPaths p = paths_of(e.path().string());
+    if (fs::exists(p.report, ec) || fs::exists(p.error, ec)) continue;
+    out.push_back(e.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void record_error(const RequestPaths& p, const std::string& message) {
+  std::fprintf(stderr, "serve: %s rejected: %s\n", p.request.c_str(),
+               message.c_str());
+  write_file_synced(p.error, message + "\n");
+}
+
+enum class RequestOutcome { kDone, kDrained, kRejected };
+
+RequestOutcome process_request(const SpoolOptions& opts,
+                               const RequestPaths& p,
+                               const volatile std::sig_atomic_t* shutdown) {
+  std::string text;
+  std::string err;
+  if (!read_file(p.request, text)) {
+    record_error(p, "cannot read request file");
+    return RequestOutcome::kRejected;
+  }
+  CampaignSpec spec;
+  if (!parse_campaign(text, spec, err)) {
+    record_error(p, "bad campaign request: " + err);
+    return RequestOutcome::kRejected;
+  }
+
+  // Stream per-cell results as they resolve. Truncate on (re)start: a
+  // resumed request rewrites the stream — completed cells come back as
+  // store hits, so the finished stream is always complete.
+  std::FILE* jsonl = std::fopen(p.out_jsonl.c_str(), "wb");
+  const auto on_done = [&](std::size_t index, const Cell& cell,
+                           CellOrigin origin,
+                           const workload::ExperimentResult* result) {
+    if (jsonl == nullptr) return;
+    Json line = Json::object();
+    line.set("cell", Json::uinteger(index));
+    line.set("coordinate", Json::string(cell_coordinate(cell)));
+    line.set("key", Json::string(cell.key));
+    line.set("origin", Json::string(origin_name(origin)));
+    if (result != nullptr) line.set("result", json_of_result(*result));
+    const std::string bytes = line.dump() + "\n";
+    std::fwrite(bytes.data(), 1, bytes.size(), jsonl);
+    std::fflush(jsonl);
+  };
+
+  ResultStore store(opts.store_root);
+  RunOptions ropts;
+  ropts.jobs = 1;  // lookups are main-thread; children do the computing
+  ropts.store = opts.store_root.empty() ? nullptr : &store;
+  ropts.sink = opts.sink;
+  ropts.verbose = opts.verbose;
+  SupervisorOptions sopts = opts.supervisor;
+  sopts.store_root = opts.store_root;
+
+  CampaignRun run;
+  SuperviseOutcome outcome = SuperviseOutcome::kComplete;
+  const bool ok = run_campaign_supervised(spec, ropts, sopts, on_done,
+                                          shutdown, run, outcome, err);
+  if (jsonl != nullptr) std::fclose(jsonl);
+  if (!ok) {
+    record_error(p, err);
+    return RequestOutcome::kRejected;
+  }
+
+  if (outcome == SuperviseOutcome::kDrained) {
+    // kComputed doubles as the placeholder origin of still-pending cells;
+    // a pending cell still holds a default (flowless) result, which is how
+    // the two are told apart here. The marker is informational — resume
+    // correctness comes from the store, not this count.
+    std::size_t resolved = run.stats.hits + run.stats.failed;
+    for (std::size_t i = 0; i < run.origins.size(); ++i) {
+      if (run.origins[i] == CellOrigin::kRecomputed ||
+          (run.origins[i] == CellOrigin::kComputed &&
+           run.results[i].flows > 0)) {
+        ++resolved;
+      }
+    }
+    Json marker = Json::object();
+    marker.set("schema", Json::string(kResumeSchema));
+    marker.set("request",
+               Json::string(fs::path(p.request).filename().string()));
+    marker.set("cells", Json::uinteger(run.stats.cells));
+    marker.set("resolved", Json::uinteger(resolved));
+    if (!write_file_atomic(p.resume, marker.dump_pretty() + "\n", err)) {
+      std::fprintf(stderr, "serve: cannot write resume marker: %s\n",
+                   err.c_str());
+    } else if (opts.verbose) {
+      std::fprintf(stderr, "serve: drained %s (%zu/%zu cells resolved)\n",
+                   p.request.c_str(), resolved,
+                   static_cast<std::size_t>(run.stats.cells));
+    }
+    return RequestOutcome::kDrained;
+  }
+
+  if (!write_file_atomic(p.report, report_json(run), err)) {
+    record_error(p, "cannot write report: " + err);
+    return RequestOutcome::kRejected;
+  }
+  std::error_code ec;
+  fs::remove(p.resume, ec);  // the report supersedes any drain marker
+  std::fprintf(stderr,
+               "serve: %s done (%zu cells, %zu hits, %zu failed)%s\n",
+               fs::path(p.request).filename().string().c_str(),
+               run.stats.cells, run.stats.hits, run.stats.failed,
+               run.stats.store == StoreHealth::kDegraded
+                   ? " [store degraded]"
+                   : "");
+  return RequestOutcome::kDone;
+}
+
+}  // namespace
+
+int serve_spool(const SpoolOptions& opts,
+                const volatile std::sig_atomic_t* shutdown,
+                std::string& err) {
+  std::error_code ec;
+  fs::create_directories(opts.dir, ec);
+  if (ec || !fs::is_directory(opts.dir, ec)) {
+    err = "serve: unusable spool directory " + opts.dir +
+          (ec ? ": " + ec.message() : "");
+    return 2;
+  }
+  if (opts.verbose) {
+    std::fprintf(stderr, "serve: watching %s (poll %d ms%s)\n",
+                 opts.dir.c_str(), opts.poll_ms,
+                 opts.once ? ", once" : "");
+  }
+
+  while (shutdown == nullptr || *shutdown == 0) {
+    const std::vector<std::string> requests = scan_requests(opts.dir);
+    for (const std::string& request : requests) {
+      if (shutdown != nullptr && *shutdown != 0) return 0;
+      const RequestPaths p = paths_of(request);
+      if (process_request(opts, p, shutdown) == RequestOutcome::kDrained) {
+        return 0;
+      }
+    }
+    if (opts.once) return 0;
+    // Idle poll, in small slices so a signal turns around fast.
+    const int poll_ms = std::max(10, opts.poll_ms);
+    for (int waited = 0; waited < poll_ms; waited += 10) {
+      if (shutdown != nullptr && *shutdown != 0) return 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return 0;
+}
+
+}  // namespace conga::campaign

@@ -1,0 +1,51 @@
+// Spool-mode service loop for conga_serve: a long-lived daemon that watches
+// a spool directory for campaign request files and runs each one under the
+// crash-safe supervisor.
+//
+// Protocol (one request file => three derived files, all beside it):
+//   <name>.json         the campaign request (conga-campaign-v1 spec doc)
+//   <name>.out.jsonl    streamed per-cell results, one JSON object per line,
+//                       appended (and flushed) as each cell resolves
+//   <name>.report.json  the final conga-campaign-v1 report, written
+//                       atomically (tmp + rename + fsync); its existence
+//                       marks the request done and it is never rewritten
+//   <name>.resume.json  fsync'd drain marker: the daemon was shut down with
+//                       this request in flight; a restarted daemon picks the
+//                       request up again (store hits make completed cells
+//                       free) and replaces the marker with the report
+//   <name>.error        the request was malformed; recorded once so a bad
+//                       file cannot wedge the spool
+//
+// Requests are processed in lexicographic filename order. SIGTERM/SIGINT
+// (the caller's shutdown flag) drains: in-flight children get their grace,
+// a resume marker is fsync'd, and serve_spool returns cleanly — a
+// killed-and-restarted daemon reproduces the undisturbed report
+// byte-for-byte because the report is a pure function of (request,
+// fingerprint, results) and completed cells come back as store hits.
+#pragma once
+
+#include <csignal>
+#include <string>
+
+#include "campaign/supervisor.hpp"
+
+namespace conga::campaign {
+
+struct SpoolOptions {
+  std::string dir;         ///< spool directory (created if absent)
+  std::string store_root;  ///< result store; "" disables caching AND resume
+  int poll_ms = 500;       ///< directory re-scan interval when idle
+  bool once = false;       ///< process what is there now, then exit
+  SupervisorOptions supervisor;
+  telemetry::TraceSink* sink = nullptr;
+  bool verbose = false;
+};
+
+/// Runs the spool loop until `shutdown` (may not be null) goes nonzero —
+/// or, with `once`, until the current directory contents are processed.
+/// Returns 0 on a clean exit (including a drain), 2 on setup failure
+/// (unusable spool directory), with `err` set.
+int serve_spool(const SpoolOptions& opts,
+                const volatile std::sig_atomic_t* shutdown, std::string& err);
+
+}  // namespace conga::campaign

@@ -2,8 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <system_error>
 #include <utility>
 
@@ -15,6 +20,10 @@ namespace conga::campaign {
 namespace {
 
 constexpr const char* kEntrySchema = "conga-cell-v1";
+
+/// Armed by set_tear_after_tmp_write_for_tests(): the next put() dies in the
+/// write-then-rename window, leaving an orphaned tmp file behind.
+std::atomic<bool> g_tear_after_tmp_write{false};
 
 bool read_file(const std::string& path, std::string& out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -133,6 +142,14 @@ bool ResultStore::put(const std::string& key, const std::string& fingerprint,
     err = "put: cannot write " + tmp_path;
     return false;
   }
+  if (g_tear_after_tmp_write.load(std::memory_order_relaxed)) {
+    // Simulated crash between write and rename: exactly the window that
+    // leaks a tmp orphan for `store gc` to reap. _exit, not abort — the
+    // point is the torn store state, not a corefile.
+    std::fprintf(stderr, "store: injected tear after tmp write (%s)\n",
+                 tmp_path.c_str());
+    std::_Exit(42);
+  }
   fs::rename(tmp_path, final_path, ec);
   if (ec) {
     err = "put: rename to " + final_path + " failed: " + ec.message();
@@ -140,6 +157,151 @@ bool ResultStore::put(const std::string& key, const std::string& fingerprint,
     return false;
   }
   writes_.fetch_add(1);
+  return true;
+}
+
+void ResultStore::set_tear_after_tmp_write_for_tests(bool armed) {
+  g_tear_after_tmp_write.store(armed, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Fingerprint field of an entry file, or "(unreadable)" when the file is
+/// not a parseable conga-cell-v1 document.
+std::string entry_fingerprint(const std::string& path) {
+  std::string bytes;
+  if (!read_file(path, bytes)) return "(unreadable)";
+  Json doc;
+  std::string err;
+  if (!Json::parse(bytes, doc, err)) return "(unreadable)";
+  const Json* fp = doc.find("fingerprint");
+  if (fp == nullptr || !fp->is_string()) return "(unreadable)";
+  return fp->as_string();
+}
+
+std::uint64_t file_bytes(const std::filesystem::path& p) {
+  std::error_code ec;
+  const auto n = std::filesystem::file_size(p, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+bool ResultStore::gc(const GcOptions& opts, GcStats& out,
+                     std::string& err) const {
+  namespace fs = std::filesystem;
+  out = GcStats{};
+  std::error_code ec;
+  if (!fs::exists(root_, ec)) return true;  // empty store: nothing to do
+
+  // Orphaned in-flight writes. Age is judged against the filesystem's own
+  // clock so a crashed writer's leftovers qualify as soon as they are old
+  // enough, regardless of who runs the gc.
+  const auto now = fs::file_time_type::clock::now();
+  const fs::path tmp_dir = fs::path(root_) / "tmp";
+  if (fs::exists(tmp_dir, ec)) {
+    for (const fs::directory_entry& e : fs::directory_iterator(tmp_dir, ec)) {
+      if (!e.is_regular_file(ec)) continue;
+      const auto mtime = fs::last_write_time(e.path(), ec);
+      if (ec) continue;
+      const auto age =
+          std::chrono::duration_cast<std::chrono::seconds>(now - mtime)
+              .count();
+      if (age >= opts.tmp_age_seconds) {
+        const std::uint64_t sz = file_bytes(e.path());
+        if (fs::remove(e.path(), ec)) {
+          ++out.tmp_removed;
+          out.bytes_reclaimed += sz;
+        } else {
+          err = "gc: cannot remove " + e.path().string() + ": " + ec.message();
+          return false;
+        }
+      } else {
+        ++out.tmp_kept;
+      }
+    }
+  }
+
+  // Dead-fingerprint entries (only when a keep list was given).
+  for (const fs::directory_entry& shard : fs::directory_iterator(root_, ec)) {
+    if (!shard.is_directory(ec)) continue;
+    const std::string shard_name = shard.path().filename().string();
+    if (shard_name == "tmp" || shard_name == "quarantine") continue;
+    for (const fs::directory_entry& e :
+         fs::directory_iterator(shard.path(), ec)) {
+      if (!e.is_regular_file(ec) || e.path().extension() != ".json") continue;
+      if (opts.keep_fingerprints.empty()) {
+        ++out.entries_kept;
+        continue;
+      }
+      const std::string fp = entry_fingerprint(e.path().string());
+      const bool keep = std::find(opts.keep_fingerprints.begin(),
+                                  opts.keep_fingerprints.end(),
+                                  fp) != opts.keep_fingerprints.end();
+      if (keep) {
+        ++out.entries_kept;
+        continue;
+      }
+      const std::uint64_t sz = file_bytes(e.path());
+      if (fs::remove(e.path(), ec)) {
+        ++out.entries_removed;
+        out.bytes_reclaimed += sz;
+      } else {
+        err = "gc: cannot remove " + e.path().string() + ": " + ec.message();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ResultStore::stat(StoreStat& out, std::string& err) const {
+  namespace fs = std::filesystem;
+  (void)err;
+  out = StoreStat{};
+  std::error_code ec;
+  if (!fs::exists(root_, ec)) return true;
+
+  // std::map: stat output is user-facing and must be deterministically
+  // ordered (and the conga-lint unordered-iteration rule agrees).
+  std::map<std::string, StatBucket> buckets;
+  for (const fs::directory_entry& shard : fs::directory_iterator(root_, ec)) {
+    if (!shard.is_directory(ec)) continue;
+    const std::string shard_name = shard.path().filename().string();
+    if (shard_name == "tmp") {
+      for (const fs::directory_entry& e :
+           fs::directory_iterator(shard.path(), ec)) {
+        if (!e.is_regular_file(ec)) continue;
+        ++out.tmp_files;
+        out.tmp_bytes += file_bytes(e.path());
+      }
+      continue;
+    }
+    if (shard_name == "quarantine") {
+      for (const fs::directory_entry& e :
+           fs::directory_iterator(shard.path(), ec)) {
+        if (e.is_regular_file(ec) && e.path().extension() == ".json") {
+          ++out.quarantined;
+        }
+      }
+      continue;
+    }
+    for (const fs::directory_entry& e :
+         fs::directory_iterator(shard.path(), ec)) {
+      if (!e.is_regular_file(ec) || e.path().extension() != ".json") continue;
+      const std::uint64_t sz = file_bytes(e.path());
+      StatBucket& b = buckets[entry_fingerprint(e.path().string())];
+      ++b.entries;
+      b.bytes += sz;
+      ++out.entries;
+      out.bytes += sz;
+    }
+  }
+  out.by_fingerprint.reserve(buckets.size());
+  for (auto& [fp, bucket] : buckets) {
+    bucket.fingerprint = fp;
+    out.by_fingerprint.push_back(std::move(bucket));
+  }
   return true;
 }
 

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "workload/experiment.hpp"
 
@@ -60,6 +61,54 @@ class ResultStore {
 
   /// Entries written by this instance (atomic; workers write concurrently).
   std::uint64_t writes() const { return writes_.load(); }
+
+  // --- maintenance (conga_serve store gc / store stat) ---------------------
+
+  struct GcOptions {
+    /// Remove tmp/*.tmp files older than this many seconds (orphans left by
+    /// a crash between write and rename). 0 removes every tmp file.
+    std::int64_t tmp_age_seconds = 3600;
+    /// When non-empty, remove entries whose fingerprint is not in the list
+    /// (dead keys from builds that no longer exist). Empty keeps everything.
+    std::vector<std::string> keep_fingerprints;
+  };
+
+  struct GcStats {
+    std::uint64_t tmp_removed = 0;
+    std::uint64_t tmp_kept = 0;
+    std::uint64_t entries_removed = 0;
+    std::uint64_t entries_kept = 0;
+    std::uint64_t bytes_reclaimed = 0;
+  };
+
+  /// Removes orphaned tmp files and (optionally) dead-fingerprint entries.
+  /// A missing store root is an empty store, not an error. Returns false and
+  /// sets `err` only on I/O failure mid-walk.
+  bool gc(const GcOptions& opts, GcStats& out, std::string& err) const;
+
+  struct StatBucket {
+    std::string fingerprint;  ///< "(unreadable)" for unparseable entries
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  struct StoreStat {
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t tmp_files = 0;
+    std::uint64_t tmp_bytes = 0;
+    std::uint64_t quarantined = 0;  ///< poison records under quarantine/
+    std::vector<StatBucket> by_fingerprint;  ///< sorted by fingerprint
+  };
+
+  /// Walks the store and summarizes it (entry count/bytes per fingerprint,
+  /// tmp backlog, quarantine records). Missing root = empty store.
+  bool stat(StoreStat& out, std::string& err) const;
+
+  /// Test hook: when armed, the next put() aborts the process after writing
+  /// its tmp file but before the rename — the crash window that orphans a
+  /// tmp file. Used by the CONGA_CELL_FAULT=tear:N injection mode.
+  static void set_tear_after_tmp_write_for_tests(bool armed);
 
  private:
   std::string root_;

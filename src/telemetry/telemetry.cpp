@@ -24,6 +24,8 @@ constexpr const char* kTypeNames[] = {
     "flow_stalled",      "probe_sent",     "probe_received",
     "probe_table_update", "flowcell_rotate", "campaign_cell_hit",
     "campaign_cell_miss", "campaign_store_write", "campaign_verify_recompute",
+    "supervisor_spawn",   "supervisor_exit",  "supervisor_timeout",
+    "supervisor_retry",   "supervisor_quarantine",
 };
 static_assert(sizeof(kTypeNames) / sizeof(kTypeNames[0]) ==
                   static_cast<std::size_t>(EventType::kTypeCount),
@@ -31,7 +33,7 @@ static_assert(sizeof(kTypeNames) / sizeof(kTypeNames[0]) ==
 
 constexpr const char* kCategoryNames[] = {
     "queue", "link", "dre", "flowlet", "conga_table", "tcp", "flow", "probe",
-    "fault", "campaign",
+    "fault", "campaign", "supervisor",
 };
 static_assert(sizeof(kCategoryNames) / sizeof(kCategoryNames[0]) ==
                   static_cast<std::size_t>(Category::kCount),

@@ -47,6 +47,7 @@ enum class Category : std::uint8_t {
   kProbe,       ///< periodic counter / gauge samples
   kFault,       ///< injected fault transitions (src/fault/)
   kCampaign,    ///< campaign cache decisions (src/campaign/)
+  kSupervisor,  ///< campaign supervisor child-process lifecycle
   kCount,
 };
 
@@ -123,6 +124,17 @@ enum class EventType : std::uint8_t {
   kCampaignCellMiss,
   kCampaignStoreWrite,
   kCampaignVerifyRecompute,
+  // kSupervisor — child-process supervision decisions, emitted by the
+  // campaign supervisor on the main thread as they happen. a: cell index in
+  // canonical expansion order. b: spawn: attempt number (1-based);
+  // exit: (attempt << 32) | wait status encoding (exit code, or 0x100|signal
+  // for signal deaths); timeout: attempt; retry: (attempt << 32) | backoff
+  // delay in ms; quarantine: total attempts consumed.
+  kSupervisorSpawn,
+  kSupervisorExit,
+  kSupervisorTimeout,
+  kSupervisorRetry,
+  kSupervisorQuarantine,
   kTypeCount,
 };
 
@@ -171,6 +183,12 @@ constexpr Category category_of(EventType t) {
     case EventType::kCampaignStoreWrite:
     case EventType::kCampaignVerifyRecompute:
       return Category::kCampaign;
+    case EventType::kSupervisorSpawn:
+    case EventType::kSupervisorExit:
+    case EventType::kSupervisorTimeout:
+    case EventType::kSupervisorRetry:
+    case EventType::kSupervisorQuarantine:
+      return Category::kSupervisor;
     default:
       return Category::kProbe;
   }

@@ -4,14 +4,16 @@
 // x seed x fault grid). conga_serve expands it into content-addressed cells,
 // reuses every cell the store already has for this exact code, simulates
 // only the misses, and writes a conga-campaign-v1 report that is
-// byte-identical whether it came from a cold run, a warm run, or any --jobs
-// value. Cache statistics go to --stats-out / stderr, never into the report.
+// byte-identical whether it came from a cold run, a warm run, a supervised
+// run, or a killed-and-resumed run. Cache statistics go to --stats-out /
+// stderr, never into the report.
 //
 // Subcommands:
 //   run     execute a campaign incrementally
 //           --campaign FILE | --builtin NAME   the request (JSON / built-in)
 //           --store DIR                        content-addressed result store
-//           --jobs N                           worker threads (default 1)
+//           --jobs N                           workers (threads, or children
+//                                              under --supervise; default 1)
 //           --out FILE                         report (default stdout)
 //           --stats-out FILE                   cache statistics JSON
 //           --baseline FILE                    prior report to compare with
@@ -20,27 +22,62 @@
 //           --verify-sample PCT                recompute PCT% of cache hits;
 //                                              any divergence is a poisoned
 //                                              store and exits nonzero
+//           --supervise                        run each miss in an isolated
+//                                              child process: crashes/hangs
+//                                              are retried then quarantined,
+//                                              never fatal to the sweep
+//           --deadline-ms N                    per-cell wall-clock budget
+//           --max-attempts N                   attempts before quarantine
+//           --backoff-base-ms N / --backoff-cap-ms N   retry schedule
 //           --verbose                          per-cell progress on stderr
+//   serve   long-lived spool daemon (implies supervision)
+//           --spool DIR                        watch DIR for <name>.json
+//                                              requests; stream results to
+//                                              <name>.out.jsonl; write
+//                                              <name>.report.json atomically
+//           --store DIR, --jobs N, supervision flags as for run
+//           --poll-ms N                        idle re-scan interval (500)
+//           --once                             process current requests, exit
+//           --drain-grace-ms N                 SIGTERM/SIGINT: budget for
+//                                              in-flight children before a
+//                                              resume marker is written
+//   store   maintain a result store
+//           gc    --store DIR [--tmp-age-seconds N] [--keep-fingerprints CSV]
+//                 remove orphaned tmp files older than N seconds (3600) and,
+//                 when a keep list is given, entries from other fingerprints
+//                 ("current" names the running build's fingerprint)
+//           stat  --store DIR
+//                 entry/byte counts by fingerprint, JSON on stdout
 //   expand  print the cell grid (coordinates and cache keys), no simulation
 //           --campaign FILE | --builtin NAME
 //   verdict compare two reports offline
 //           --report FILE --baseline FILE [--out FILE] [--tolerance X]
 //
-// Exit status: 0 success; 1 regression verdict or store poisoning; 2 usage
-// or I/O error.
+// The CONGA_CELL_FAULT env knob ("crash:0,hang:2@1,tear:3") injects
+// deterministic child failures under --supervise / serve — test-only.
+//
+// Exit status: 0 success; 1 regression verdict, store poisoning, or
+// quarantined cells; 2 usage or I/O error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <csignal>
 #include <string>
 #include <vector>
 
 #include "campaign/campaign.hpp"
 #include "campaign/fingerprint.hpp"
+#include "campaign/spool.hpp"
+#include "campaign/supervisor.hpp"
 #include "telemetry/telemetry.hpp"
 
 using namespace conga;
 
 namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_shutdown_signal(int) { g_shutdown = 1; }
 
 int usage() {
   std::fprintf(
@@ -49,8 +86,18 @@ int usage() {
       "[--store DIR]\n"
       "                          [--jobs N] [--out FILE] [--stats-out FILE]\n"
       "                          [--baseline FILE --verdict-out FILE]\n"
-      "                          [--tolerance X] [--verify-sample PCT] "
+      "                          [--tolerance X] [--verify-sample PCT]\n"
+      "                          [--supervise] [--deadline-ms N] "
+      "[--max-attempts N]\n"
+      "                          [--backoff-base-ms N] [--backoff-cap-ms N] "
       "[--verbose]\n"
+      "       conga_serve serve  --spool DIR [--store DIR] [--jobs N] "
+      "[--poll-ms N]\n"
+      "                          [--once] [--drain-grace-ms N] "
+      "[supervision flags]\n"
+      "       conga_serve store  gc   --store DIR [--tmp-age-seconds N]\n"
+      "                               [--keep-fingerprints CSV]\n"
+      "       conga_serve store  stat --store DIR\n"
       "       conga_serve expand [--campaign FILE | --builtin NAME]\n"
       "       conga_serve verdict --report FILE --baseline FILE "
       "[--out FILE] [--tolerance X]\n");
@@ -107,6 +154,7 @@ bool load_campaign(const std::string& campaign_path,
 }
 
 struct Args {
+  std::string self_exe;  ///< resolved binary path, for supervised children
   std::string campaign_path;
   std::string builtin;
   std::string store_dir;
@@ -115,14 +163,34 @@ struct Args {
   std::string baseline_path;
   std::string verdict_path;
   std::string report_path;
+  std::string spool_dir;
+  std::vector<std::string> keep_fingerprints;
   double tolerance = 0.01;
   double verify_sample = 0.0;  ///< fraction, from --verify-sample percent
   int jobs = 1;
+  int max_attempts = 3;
+  int poll_ms = 500;
+  std::int64_t deadline_ms = 120000;
+  std::int64_t backoff_base_ms = 250;
+  std::int64_t backoff_cap_ms = 5000;
+  std::int64_t drain_grace_ms = 5000;
+  std::int64_t tmp_age_seconds = 3600;
+  bool supervise = false;
+  bool once = false;
   bool verbose = false;
 };
 
-bool parse_args(int argc, char** argv, Args& a, std::string& err) {
-  for (int i = 2; i < argc; ++i) {
+bool parse_int_flag(const std::string& v, std::int64_t min_value,
+                    std::int64_t& out) {
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || parsed < min_value) return false;
+  out = parsed;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, int start, Args& a, std::string& err) {
+  for (int i = start; i < argc; ++i) {
     const char* arg = argv[i];
     auto value = [&](std::string& out) {
       if (i + 1 >= argc) {
@@ -133,6 +201,7 @@ bool parse_args(int argc, char** argv, Args& a, std::string& err) {
       return true;
     };
     std::string v;
+    std::int64_t n = 0;
     if (std::strcmp(arg, "--campaign") == 0) {
       if (!value(a.campaign_path)) return false;
     } else if (std::strcmp(arg, "--builtin") == 0) {
@@ -149,6 +218,24 @@ bool parse_args(int argc, char** argv, Args& a, std::string& err) {
       if (!value(a.verdict_path)) return false;
     } else if (std::strcmp(arg, "--report") == 0) {
       if (!value(a.report_path)) return false;
+    } else if (std::strcmp(arg, "--spool") == 0) {
+      if (!value(a.spool_dir)) return false;
+    } else if (std::strcmp(arg, "--keep-fingerprints") == 0) {
+      if (!value(v)) return false;
+      std::size_t pos = 0;
+      while (pos <= v.size()) {
+        std::size_t end = v.find(',', pos);
+        if (end == std::string::npos) end = v.size();
+        std::string token = v.substr(pos, end - pos);
+        pos = end + 1;
+        if (token.empty()) continue;
+        if (token == "current") token = campaign::code_fingerprint();
+        a.keep_fingerprints.push_back(std::move(token));
+      }
+      if (a.keep_fingerprints.empty()) {
+        err = "--keep-fingerprints wants a comma list of fingerprints";
+        return false;
+      }
     } else if (std::strcmp(arg, "--tolerance") == 0) {
       if (!value(v)) return false;
       a.tolerance = std::atof(v.c_str());
@@ -171,14 +258,70 @@ bool parse_args(int argc, char** argv, Args& a, std::string& err) {
         err = "--jobs must be positive";
         return false;
       }
+    } else if (std::strcmp(arg, "--max-attempts") == 0) {
+      if (!value(v) || !parse_int_flag(v, 1, n)) {
+        if (err.empty()) err = "--max-attempts must be >= 1";
+        return false;
+      }
+      a.max_attempts = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--poll-ms") == 0) {
+      if (!value(v) || !parse_int_flag(v, 1, n)) {
+        if (err.empty()) err = "--poll-ms must be >= 1";
+        return false;
+      }
+      a.poll_ms = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      if (!value(v) || !parse_int_flag(v, 1, a.deadline_ms)) {
+        if (err.empty()) err = "--deadline-ms must be >= 1";
+        return false;
+      }
+    } else if (std::strcmp(arg, "--backoff-base-ms") == 0) {
+      if (!value(v) || !parse_int_flag(v, 1, a.backoff_base_ms)) {
+        if (err.empty()) err = "--backoff-base-ms must be >= 1";
+        return false;
+      }
+    } else if (std::strcmp(arg, "--backoff-cap-ms") == 0) {
+      if (!value(v) || !parse_int_flag(v, 1, a.backoff_cap_ms)) {
+        if (err.empty()) err = "--backoff-cap-ms must be >= 1";
+        return false;
+      }
+    } else if (std::strcmp(arg, "--drain-grace-ms") == 0) {
+      if (!value(v) || !parse_int_flag(v, 0, a.drain_grace_ms)) {
+        if (err.empty()) err = "--drain-grace-ms must be >= 0";
+        return false;
+      }
+    } else if (std::strcmp(arg, "--tmp-age-seconds") == 0) {
+      if (!value(v) || !parse_int_flag(v, 0, a.tmp_age_seconds)) {
+        if (err.empty()) err = "--tmp-age-seconds must be >= 0";
+        return false;
+      }
+    } else if (std::strcmp(arg, "--supervise") == 0) {
+      a.supervise = true;
+    } else if (std::strcmp(arg, "--once") == 0) {
+      a.once = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       a.verbose = true;
     } else {
-      err = std::string("unknown flag ") + arg;
+      err = std::string("unknown flag '") + arg + "'";
       return false;
     }
   }
   return true;
+}
+
+campaign::SupervisorOptions supervisor_options(const Args& a) {
+  campaign::SupervisorOptions s;
+  s.exe = a.self_exe;
+  s.store_root = a.store_dir;
+  s.jobs = a.jobs;
+  s.max_attempts = a.max_attempts;
+  s.deadline_ms = a.deadline_ms;
+  s.backoff_base_ms = a.backoff_base_ms;
+  s.backoff_cap_ms = a.backoff_cap_ms;
+  s.drain_grace_ms = a.drain_grace_ms;
+  const char* fault = std::getenv("CONGA_CELL_FAULT");
+  if (fault != nullptr) s.fault_spec = fault;
+  return s;
 }
 
 int cmd_expand(const Args& a) {
@@ -267,7 +410,23 @@ int cmd_run(const Args& a) {
   opts.verbose = a.verbose;
 
   campaign::CampaignRun run;
-  if (!campaign::run_campaign(spec, opts, run, err)) {
+  if (a.supervise) {
+    std::signal(SIGTERM, on_shutdown_signal);
+    std::signal(SIGINT, on_shutdown_signal);
+    campaign::SuperviseOutcome outcome = campaign::SuperviseOutcome::kComplete;
+    if (!campaign::run_campaign_supervised(spec, opts, supervisor_options(a),
+                                           nullptr, &g_shutdown, run, outcome,
+                                           err)) {
+      std::fprintf(stderr, "conga_serve: %s\n", err.c_str());
+      return 2;
+    }
+    if (outcome == campaign::SuperviseOutcome::kDrained) {
+      std::fprintf(stderr,
+                   "conga_serve: interrupted; completed cells are in the "
+                   "store, no report written\n");
+      return 2;
+    }
+  } else if (!campaign::run_campaign(spec, opts, run, err)) {
     std::fprintf(stderr, "conga_serve: %s\n", err.c_str());
     return 2;
   }
@@ -296,6 +455,11 @@ int cmd_run(const Args& a) {
   }
 
   int status = 0;
+  if (run.stats.failed > 0) {
+    std::fprintf(stderr, "conga_serve: %zu cell(s) quarantined\n",
+                 run.stats.failed);
+    status = 1;
+  }
   if (a.verify_sample > 0.0) {
     campaign::VerifyOutcome outcome;
     if (!campaign::verify_sample(run, a.verify_sample, a.jobs, opts.sink,
@@ -352,18 +516,141 @@ int cmd_verdict(const Args& a) {
       a.verdict_path.empty() ? a.out_path : a.verdict_path, a.tolerance);
 }
 
+int cmd_serve(const Args& a) {
+  if (a.spool_dir.empty()) {
+    std::fprintf(stderr, "conga_serve: serve needs --spool DIR\n");
+    return 2;
+  }
+  std::signal(SIGTERM, on_shutdown_signal);
+  std::signal(SIGINT, on_shutdown_signal);
+  campaign::SpoolOptions sp;
+  sp.dir = a.spool_dir;
+  sp.store_root = a.store_dir;
+  sp.poll_ms = a.poll_ms;
+  sp.once = a.once;
+  sp.verbose = a.verbose;
+  sp.supervisor = supervisor_options(a);
+  std::string err;
+  const int rc = campaign::serve_spool(sp, &g_shutdown, err);
+  if (rc != 0) std::fprintf(stderr, "conga_serve: %s\n", err.c_str());
+  return rc;
+}
+
+/// Hidden child entry point: one cell, request on stdin, response on stdout.
+int cmd_cell() {
+  std::string request;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+    request.append(buf, n);
+  }
+  std::string response;
+  std::string diag;
+  const int code = campaign::cell_main(request, response, diag);
+  if (!diag.empty()) std::fprintf(stderr, "conga_serve: %s\n", diag.c_str());
+  std::fwrite(response.data(), 1, response.size(), stdout);
+  std::fflush(stdout);
+  return code;
+}
+
+int cmd_store_gc(const Args& a) {
+  if (a.store_dir.empty()) {
+    std::fprintf(stderr, "conga_serve: store gc needs --store DIR\n");
+    return 2;
+  }
+  campaign::ResultStore store(a.store_dir);
+  campaign::ResultStore::GcOptions gc;
+  gc.tmp_age_seconds = a.tmp_age_seconds;
+  gc.keep_fingerprints = a.keep_fingerprints;
+  campaign::ResultStore::GcStats stats;
+  std::string err;
+  if (!store.gc(gc, stats, err)) {
+    std::fprintf(stderr, "conga_serve: %s\n", err.c_str());
+    return 2;
+  }
+  std::fprintf(stderr,
+               "conga_serve: gc removed %llu tmp file(s) and %llu "
+               "entrie(s), reclaimed %llu bytes (kept %llu tmp, %llu "
+               "entries)\n",
+               static_cast<unsigned long long>(stats.tmp_removed),
+               static_cast<unsigned long long>(stats.entries_removed),
+               static_cast<unsigned long long>(stats.bytes_reclaimed),
+               static_cast<unsigned long long>(stats.tmp_kept),
+               static_cast<unsigned long long>(stats.entries_kept));
+  return 0;
+}
+
+int cmd_store_stat(const Args& a) {
+  if (a.store_dir.empty()) {
+    std::fprintf(stderr, "conga_serve: store stat needs --store DIR\n");
+    return 2;
+  }
+  campaign::ResultStore store(a.store_dir);
+  campaign::ResultStore::StoreStat st;
+  std::string err;
+  if (!store.stat(st, err)) {
+    std::fprintf(stderr, "conga_serve: %s\n", err.c_str());
+    return 2;
+  }
+  campaign::Json doc = campaign::Json::object();
+  doc.set("schema", campaign::Json::string("conga-store-stat-v1"));
+  doc.set("entries", campaign::Json::uinteger(st.entries));
+  doc.set("bytes", campaign::Json::uinteger(st.bytes));
+  doc.set("tmp_files", campaign::Json::uinteger(st.tmp_files));
+  doc.set("tmp_bytes", campaign::Json::uinteger(st.tmp_bytes));
+  doc.set("quarantined", campaign::Json::uinteger(st.quarantined));
+  campaign::Json buckets = campaign::Json::array();
+  for (const campaign::ResultStore::StatBucket& b : st.by_fingerprint) {
+    campaign::Json e = campaign::Json::object();
+    e.set("fingerprint", campaign::Json::string(b.fingerprint));
+    e.set("entries", campaign::Json::uinteger(b.entries));
+    e.set("bytes", campaign::Json::uinteger(b.bytes));
+    buckets.push_back(std::move(e));
+  }
+  doc.set("by_fingerprint", std::move(buckets));
+  std::printf("%s\n", doc.dump_pretty().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "cell") return cmd_cell();
+
   Args a;
+  a.self_exe = campaign::self_exe_path(argv[0]);
   std::string err;
-  if (!parse_args(argc, argv, a, err)) {
+
+  if (cmd == "store") {
+    if (argc < 3) {
+      std::fprintf(stderr,
+                   "conga_serve: store needs a subcommand (gc, stat)\n");
+      return usage();
+    }
+    const std::string sub = argv[2];
+    if (!parse_args(argc, argv, 3, a, err)) {
+      std::fprintf(stderr, "conga_serve: %s\n", err.c_str());
+      return usage();
+    }
+    if (sub == "gc") return cmd_store_gc(a);
+    if (sub == "stat") return cmd_store_stat(a);
+    std::fprintf(stderr, "conga_serve: unknown store subcommand '%s'\n",
+                 sub.c_str());
+    return usage();
+  }
+
+  if (!parse_args(argc, argv, 2, a, err)) {
     std::fprintf(stderr, "conga_serve: %s\n", err.c_str());
     return usage();
   }
-  if (std::strcmp(argv[1], "run") == 0) return cmd_run(a);
-  if (std::strcmp(argv[1], "expand") == 0) return cmd_expand(a);
-  if (std::strcmp(argv[1], "verdict") == 0) return cmd_verdict(a);
+  if (cmd == "run") return cmd_run(a);
+  if (cmd == "serve") return cmd_serve(a);
+  if (cmd == "expand") return cmd_expand(a);
+  if (cmd == "verdict") return cmd_verdict(a);
+  std::fprintf(stderr, "conga_serve: unknown subcommand '%s'\n",
+               argv[1]);
   return usage();
 }
